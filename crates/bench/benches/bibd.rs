@@ -1,0 +1,79 @@
+//! Benchmarks of the BIBD memory map (T6/T7 substrate): the per-access
+//! closed forms must be cheap enough to sit on the simulation's hot path,
+//! and the degree/expansion validators back Theorem 5 and Lemma 1.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prasim_bibd::{input_count, verify, Bibd, BibdSubgraph};
+
+fn bench_neighbors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bibd/neighbors");
+    for &(q, d) in &[(3u64, 4u32), (3, 6), (9, 3)] {
+        let bibd = Bibd::new(q, d).unwrap();
+        let m = bibd.num_inputs();
+        g.bench_function(format!("q{q}_d{d}"), |b| {
+            let mut v = 0u64;
+            b.iter(|| {
+                v = (v + 12345) % m;
+                black_box(bibd.neighbors(black_box(v)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_rank(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bibd/rank_of_input");
+    for &(q, d) in &[(3u64, 4u32), (3, 6)] {
+        let full = input_count(q, d).unwrap();
+        let sg = BibdSubgraph::new(q, d, full / 2).unwrap();
+        g.bench_function(format!("q{q}_d{d}"), |b| {
+            let mut v = 0u64;
+            b.iter(|| {
+                v = (v + 777) % sg.num_inputs();
+                black_box(sg.rank_of_input(black_box(v)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_degree_balance_check(c: &mut Criterion) {
+    // T6: the full Theorem 5 sweep over one design.
+    let mut g = c.benchmark_group("bibd/theorem5_sweep");
+    g.sample_size(10);
+    g.bench_function("q3_d3_full_scan", |b| {
+        let full = input_count(3, 3).unwrap();
+        let sg = BibdSubgraph::new(3, 3, full / 2).unwrap();
+        b.iter(|| {
+            let st = verify::degree_stats(&sg);
+            assert!(st.balanced());
+            black_box(st)
+        })
+    });
+    g.finish();
+}
+
+fn bench_strong_expansion(c: &mut Criterion) {
+    // T7: Lemma 1 verification throughput.
+    let mut g = c.benchmark_group("bibd/lemma1");
+    let bibd = Bibd::new(3, 3).unwrap();
+    let adj = bibd.inputs_of_output(5);
+    g.bench_function("q3_d3", |b| {
+        b.iter(|| {
+            let (got, want) =
+                verify::strong_expansion(&bibd, 5, &adj, 2, |w| vec![w as usize % 3, 1]);
+            assert_eq!(got, want);
+            black_box(got)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_neighbors,
+    bench_rank,
+    bench_degree_balance_check,
+    bench_strong_expansion
+);
+criterion_main!(benches);

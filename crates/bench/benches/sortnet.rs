@@ -1,0 +1,47 @@
+//! Benchmarks of the sorting substrate: shearsort wall-clock and
+//! simulated-step scaling (the dominant term in every protocol phase).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prasim_routing::problem::SplitMix64;
+use prasim_sortnet::rank::rank_sorted;
+use prasim_sortnet::shearsort::shearsort;
+
+fn grid(side: u32, h: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = SplitMix64(seed);
+    (0..(side as usize * side as usize))
+        .map(|_| (0..h).map(|_| rng.next_u64() >> 16).collect())
+        .collect()
+}
+
+fn bench_shearsort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sortnet/shearsort");
+    for &side in &[16u32, 32, 64] {
+        for &h in &[1usize, 4, 9] {
+            g.bench_function(format!("side{side}_h{h}"), |b| {
+                b.iter_batched(
+                    || grid(side, h, 42),
+                    |mut items| black_box(shearsort(&mut items, side, side, h)),
+                    criterion::BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_rank(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sortnet/rank");
+    let side = 32u32;
+    let mut items: Vec<Vec<(u64, u64)>> = grid(side, 4, 7)
+        .into_iter()
+        .map(|v| v.into_iter().map(|x| (x % 50, x)).collect())
+        .collect();
+    shearsort(&mut items, side, side, 4);
+    g.bench_function("side32_h4_groups50", |b| {
+        b.iter(|| black_box(rank_sorted(&items, side, side, |&(g, _)| g)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_shearsort, bench_rank);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Regenerates every experiment table (T1–T11) of EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p prasim-bench --bin reproduce            # standard sizes
+//! cargo run --release -p prasim-bench --bin reproduce -- quick   # CI-sized
+//! cargo run --release -p prasim-bench --bin reproduce -- full    # adds n = 65536 points
+//! cargo run --release -p prasim-bench --bin reproduce -- T4 T6   # selected tables
+//! ```
+
+use prasim_bench::tables::{self, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let full = args.iter().any(|a| a == "full");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| a.starts_with('T') || a.starts_with('t'))
+        .map(|s| s.as_str())
+        .collect();
+    let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s.eq_ignore_ascii_case(id));
+
+    // α ≈ 1.33–1.42 series: d grows with n.
+    let mut t1_sizes: Vec<(u64, u32)> = if quick {
+        vec![(256, 4), (1024, 5)]
+    } else {
+        vec![(256, 4), (1024, 5), (4096, 6), (16384, 7)]
+    };
+    if full {
+        t1_sizes.push((65536, 8));
+    }
+    let t2_ns: Vec<u64> = if quick {
+        vec![256, 1024]
+    } else {
+        vec![256, 1024, 4096, 16384]
+    };
+    let t3_ns: Vec<u64> = if quick {
+        vec![1024]
+    } else {
+        vec![1024, 4096, 16384]
+    };
+
+    let mut out: Vec<Table> = Vec::new();
+    if want("T1") {
+        out.push(tables::t1_slowdown(&t1_sizes, 2, false));
+        out.push(tables::t1_slowdown(&t1_sizes, 2, true));
+    }
+    if want("T2") {
+        out.push(tables::t2_routing(&t2_ns, &[1, 2, 4]));
+    }
+    if want("T3") {
+        out.push(tables::t3_hierarchical(&t3_ns, 1));
+    }
+    if want("T4") {
+        let (n, d) = if quick { (1024, 5) } else { (4096, 6) };
+        out.push(tables::t4_culling_bounds(n, d, 2));
+    }
+    if want("T5") {
+        out.push(tables::t5_culling_time(&t1_sizes, 2));
+    }
+    if want("T6") {
+        out.push(tables::t6_bibd_balance());
+    }
+    if want("T7") {
+        out.push(tables::t7_strong_expansion(if quick { 200 } else { 2000 }));
+    }
+    if want("T8") {
+        out.push(tables::t8_structure(&[(1024, 5, 2), (4096, 6, 2), (4096, 5, 3)]));
+    }
+    if want("T9") {
+        let n = if quick { 1024 } else { 4096 };
+        let d = 5;
+        out.push(tables::t9_redundancy(n, d, &[1, 2, 3]));
+    }
+    if want("T10") {
+        out.push(tables::t10_baselines(1024));
+    }
+    if want("T11") {
+        out.push(tables::t11_consistency(if quick { 10 } else { 40 }));
+    }
+    if want("T12") {
+        let (n, d) = if quick { (1024, 5) } else { (4096, 6) };
+        out.push(tables::t12_stage_deltas(n, d, 2));
+    }
+    if want("T13") {
+        out.push(tables::t13_slack_ablation(1024, 5));
+    }
+    if want("T14") {
+        out.push(tables::t14_q_sweep(if quick { 1024 } else { 4096 }));
+    }
+
+    println!("# prasim — reproduced results\n");
+    println!(
+        "mode: {}\n",
+        if full {
+            "full"
+        } else if quick {
+            "quick"
+        } else {
+            "standard"
+        }
+    );
+    for t in &out {
+        println!("{}", t.render());
+    }
+}

@@ -1,0 +1,59 @@
+//! Least-squares power-law fitting for exponent tables.
+
+/// Fits `y = c·x^e` by linear regression on `(ln x, ln y)`; returns
+/// `(e, c)`. Requires ≥ 2 positive points.
+pub fn power_fit(points: &[(f64, f64)]) -> (f64, f64) {
+    assert!(points.len() >= 2);
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        assert!(x > 0.0 && y > 0.0, "power fit needs positive data");
+        let (lx, ly) = (x.ln(), y.ln());
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    let e = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let c = ((sy - e * sx) / n).exp();
+    (e, c)
+}
+
+/// Coefficient of determination of the fit on log-log scale.
+pub fn r_squared(points: &[(f64, f64)], e: f64, c: f64) -> f64 {
+    let mean: f64 = points.iter().map(|&(_, y)| y.ln()).sum::<f64>() / points.len() as f64;
+    let ss_tot: f64 = points.iter().map(|&(_, y)| (y.ln() - mean).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|&(x, y)| (y.ln() - (c.ln() + e * x.ln())).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_power_law() {
+        let pts: Vec<(f64, f64)> = (1..=6).map(|i| {
+            let x = (1 << i) as f64;
+            (x, 3.0 * x.powf(0.75))
+        }).collect();
+        let (e, c) = power_fit(&pts);
+        assert!((e - 0.75).abs() < 1e-9, "e = {e}");
+        assert!((c - 3.0).abs() < 1e-9, "c = {c}");
+        assert!(r_squared(&pts, e, c) > 0.999999);
+    }
+
+    #[test]
+    fn noisy_fit_reasonable() {
+        let pts = vec![(100.0, 51.0), (400.0, 98.0), (1600.0, 204.0), (6400.0, 395.0)];
+        let (e, _) = power_fit(&pts);
+        assert!((e - 0.5).abs() < 0.05, "e = {e}");
+    }
+}

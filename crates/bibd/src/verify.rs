@@ -1,0 +1,188 @@
+//! Verification utilities for BIBD properties: the λ = 1 axiom, degree
+//! balance (Theorem 5), and the strong expansion property (Lemma 1).
+//!
+//! These run the *definitions* against the closed-form construction and
+//! are used both by the test suite and by the experiment harness (tables
+//! T6/T7 of EXPERIMENTS.md).
+
+use crate::design::Bibd;
+use crate::subgraph::BibdSubgraph;
+use std::collections::HashSet;
+
+/// Summary of output degrees of a subgraph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegreeStats {
+    /// Smallest observed output degree.
+    pub min: u64,
+    /// Largest observed output degree.
+    pub max: u64,
+    /// Sum of all output degrees (should equal `q·m`).
+    pub total: u64,
+    /// Theorem 5 lower bound `⌊qm/q^d⌋`.
+    pub bound_lo: u64,
+    /// Theorem 5 upper bound `⌈qm/q^d⌉`.
+    pub bound_hi: u64,
+}
+
+impl DegreeStats {
+    /// Whether every observed degree respects Theorem 5.
+    pub fn balanced(&self) -> bool {
+        self.min >= self.bound_lo && self.max <= self.bound_hi
+    }
+}
+
+/// Computes output-degree statistics of a subgraph by evaluating the O(d)
+/// closed form at every output.
+pub fn degree_stats(sg: &BibdSubgraph) -> DegreeStats {
+    let (bound_lo, bound_hi) = sg.degree_bounds();
+    let mut min = u64::MAX;
+    let mut max = 0u64;
+    let mut total = 0u64;
+    for u in 0..sg.num_outputs() {
+        let deg = sg.output_degree(u);
+        min = min.min(deg);
+        max = max.max(deg);
+        total += deg;
+    }
+    DegreeStats {
+        min,
+        max,
+        total,
+        bound_lo,
+        bound_hi,
+    }
+}
+
+/// Exhaustively checks λ = 1: every pair of outputs shares exactly one
+/// input. Quadratic in the number of outputs — intended for small designs.
+pub fn check_lambda_one(bibd: &Bibd) -> Result<(), (u64, u64, usize)> {
+    let n = bibd.num_outputs();
+    let incidences: Vec<HashSet<u64>> = (0..n)
+        .map(|u| bibd.inputs_of_output(u).into_iter().collect())
+        .collect();
+    for u1 in 0..n as usize {
+        for u2 in (u1 + 1)..n as usize {
+            let common = incidences[u1].intersection(&incidences[u2]).count();
+            if common != 1 {
+                return Err((u1 as u64, u2 as u64, common));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Evaluates the strong expansion property (Lemma 1) for a concrete
+/// instance: output `u`, a set `s` of inputs all adjacent to `u`, and a
+/// per-input choice of `k ≤ q` outgoing edges that must include `(w, u)`.
+///
+/// `edge_choice(w)` returns the extra `k - 1` edge parameters (indices
+/// into `neighbors(w)`) to fix besides the edge to `u`; the function
+/// deduplicates and completes the choice deterministically if needed.
+///
+/// Returns `(reached, expected)` where `expected = (k-1)·|S| + 1`.
+pub fn strong_expansion<F>(
+    bibd: &Bibd,
+    u: u64,
+    s: &[u64],
+    k: usize,
+    mut edge_choice: F,
+) -> (usize, usize)
+where
+    F: FnMut(u64) -> Vec<usize>,
+{
+    assert!(k >= 1 && k <= bibd.q() as usize);
+    let mut reached: HashSet<u64> = HashSet::new();
+    for &w in s {
+        let nb = bibd.neighbors(w);
+        let u_pos = nb
+            .iter()
+            .position(|&x| x == u)
+            .expect("input in S not adjacent to u");
+        let mut chosen: Vec<usize> = vec![u_pos];
+        for c in edge_choice(w) {
+            if chosen.len() == k {
+                break;
+            }
+            if c < nb.len() && !chosen.contains(&c) {
+                chosen.push(c);
+            }
+        }
+        // Complete deterministically if the caller under-supplied.
+        let mut c = 0usize;
+        while chosen.len() < k {
+            if !chosen.contains(&c) {
+                chosen.push(c);
+            }
+            c += 1;
+        }
+        for &pos in &chosen {
+            reached.insert(nb[pos]);
+        }
+    }
+    (reached.len(), (k - 1) * s.len() + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_one_small_designs() {
+        for &(q, d) in &[(2u64, 2u32), (3, 2), (4, 2), (5, 2), (2, 3)] {
+            let bibd = Bibd::new(q, d).unwrap();
+            assert_eq!(check_lambda_one(&bibd), Ok(()), "λ != 1 for ({q},{d})");
+        }
+    }
+
+    #[test]
+    fn degree_stats_balanced_everywhere() {
+        for &(q, d) in &[(3u64, 2u32), (3, 3), (4, 2), (5, 2)] {
+            let full = crate::input_count(q, d).unwrap();
+            for m in [1, full / 4, full / 2, 3 * full / 4, full] {
+                if m == 0 {
+                    continue;
+                }
+                let sg = BibdSubgraph::new(q, d, m).unwrap();
+                let st = degree_stats(&sg);
+                assert!(st.balanced(), "({q},{d},m={m}): {st:?}");
+                assert_eq!(st.total, q * m);
+            }
+        }
+    }
+
+    #[test]
+    fn strong_expansion_exact_exhaustive() {
+        // For every output u, every subset size and every k, the lemma's
+        // equality must hold exactly. Subsets are prefixes and strided
+        // picks of inputs adjacent to u; choices are rotations.
+        let bibd = Bibd::new(3, 2).unwrap();
+        for u in 0..bibd.num_outputs() {
+            let adj = bibd.inputs_of_output(u);
+            for take in 1..=adj.len() {
+                let s: Vec<u64> = adj.iter().copied().take(take).collect();
+                for k in 1..=bibd.q() as usize {
+                    let (got, want) =
+                        strong_expansion(&bibd, u, &s, k, |w| vec![w as usize % 3, 2, 1]);
+                    assert_eq!(got, want, "u={u} |S|={take} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strong_expansion_larger_design() {
+        let bibd = Bibd::new(4, 2).unwrap();
+        for u in [0u64, 5, 15] {
+            let adj = bibd.inputs_of_output(u);
+            for stride in 1..=2usize {
+                let s: Vec<u64> = adj.iter().copied().step_by(stride).collect();
+                for k in 1..=4usize {
+                    let (got, want) = strong_expansion(&bibd, u, &s, k, |w| {
+                        vec![(w as usize + 1) % 4, (w as usize + 2) % 4, 3, 0]
+                    });
+                    assert_eq!(got, want, "u={u} stride={stride} k={k}");
+                }
+            }
+        }
+    }
+}

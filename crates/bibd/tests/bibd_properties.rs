@@ -1,0 +1,121 @@
+//! Property-based tests of the BIBD construction and its subgraphs.
+
+use prasim_bibd::{input_count, verify, Bibd, BibdSubgraph};
+use proptest::prelude::*;
+
+const PARAMS: &[(u64, u32)] = &[(2, 2), (2, 3), (3, 2), (3, 3), (4, 2), (5, 2), (7, 2), (9, 2)];
+
+fn params_and_input() -> impl Strategy<Value = ((u64, u32), u64)> {
+    prop::sample::select(PARAMS).prop_flat_map(|(q, d)| {
+        let f = input_count(q, d).unwrap();
+        (Just((q, d)), 0..f)
+    })
+}
+
+proptest! {
+    /// Every input has q distinct neighbors, and each neighbor lists the
+    /// input back among its incident lines.
+    #[test]
+    fn adjacency_is_symmetric(((q, d), v) in params_and_input()) {
+        let bibd = Bibd::new(q, d).unwrap();
+        let nb = bibd.neighbors(v);
+        prop_assert_eq!(nb.len() as u64, q);
+        for &u in &nb {
+            prop_assert!(bibd.inputs_of_output(u).contains(&v));
+        }
+    }
+
+    /// Any two distinct outputs on the same line are joined by exactly
+    /// that line (λ = 1, checked via the two-points-determine-a-line
+    /// direction, which scales to larger designs than the exhaustive
+    /// pairwise check).
+    #[test]
+    fn two_points_one_line(((q, d), v) in params_and_input(), i in 0usize..9, j in 0usize..9) {
+        let bibd = Bibd::new(q, d).unwrap();
+        let nb = bibd.neighbors(v);
+        let (u1, u2) = (nb[i % nb.len()], nb[j % nb.len()]);
+        if u1 != u2 {
+            let common: Vec<u64> = bibd
+                .inputs_of_output(u1)
+                .into_iter()
+                .filter(|w| bibd.inputs_of_output(u2).contains(w))
+                .collect();
+            prop_assert_eq!(common, vec![v]);
+        }
+    }
+
+    /// Theorem 5 for random m: degrees within floor/ceil of the average.
+    #[test]
+    fn subgraph_always_balanced((q, d) in prop::sample::select(PARAMS), frac in 1u64..100) {
+        let full = input_count(q, d).unwrap();
+        let m = (full * frac / 100).max(1);
+        let sg = BibdSubgraph::new(q, d, m).unwrap();
+        let st = verify::degree_stats(&sg);
+        prop_assert!(st.balanced(), "{:?}", st);
+        prop_assert_eq!(st.total, q * m);
+    }
+
+    /// Lemma 1 with randomized edge choices.
+    #[test]
+    fn strong_expansion_random_choices(
+        ((q, d), v) in params_and_input(),
+        take_mod in 1u64..64,
+        k_off in 0u64..8,
+        seed in 0u64..1000,
+    ) {
+        let bibd = Bibd::new(q, d).unwrap();
+        let u = bibd.neighbors(v)[0];
+        let adj = bibd.inputs_of_output(u);
+        let take = (take_mod as usize % adj.len()).max(1);
+        let s: Vec<u64> = adj.into_iter().take(take).collect();
+        let k = (k_off as usize % q as usize) + 1;
+        let (got, want) = verify::strong_expansion(&bibd, u, &s, k, |w| {
+            // Pseudo-random but deterministic per input.
+            let r = w.wrapping_mul(6364136223846793005).wrapping_add(seed);
+            (0..q as usize).map(|i| ((r >> (i * 7)) as usize) % q as usize).collect()
+        });
+        prop_assert_eq!(got, want);
+    }
+
+    /// The closed-form rank is consistent: sorting inputs adjacent to an
+    /// output by index gives exactly the rank ordering.
+    #[test]
+    fn rank_is_position(((q, d), v) in params_and_input(), frac in 50u64..=100) {
+        let full = input_count(q, d).unwrap();
+        let m = (full * frac / 100).max(1);
+        if v >= m {
+            return Ok(());
+        }
+        let sg = BibdSubgraph::new(q, d, m).unwrap();
+        let u = sg.neighbors(v)[v as usize % q as usize];
+        let ins = sg.inputs_of_output(u);
+        let pos = ins.iter().position(|&w| w == v).expect("v adjacent to u");
+        prop_assert_eq!(sg.rank_of_input(v), pos as u64);
+    }
+}
+
+/// The paper's claim that for `i ≥ 1`, `f(d_{i+1} - 1) < q^{d_i} ≤ f(d_{i+1})`
+/// — i.e. the `(q^{d_{i+1}}, q)`-BIBD is the smallest with at least
+/// `q^{d_i}` inputs — holds along the whole `d_i` recursion.
+#[test]
+fn recursion_picks_smallest_design() {
+    for q in [3u64, 4, 5] {
+        for d1 in 2u32..=12 {
+            let mut di = d1;
+            for _ in 0..6 {
+                let dnext = di / 2 + di % 2 + 1; // ceil(di/2) + 1
+                if di >= 2 {
+                    let inputs_needed = q.pow(di);
+                    assert!(input_count(q, dnext).unwrap() >= inputs_needed);
+                    if dnext >= 2 {
+                        assert!(
+                            input_count(q, dnext - 1).unwrap() < inputs_needed,
+                            "q={q} d_i={di} d_next={dnext}"
+                        );
+                    }
+                }
+                di = dnext;
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! The PRAM step model.
+//!
+//! One PRAM step has each of the `n` processors read or write one shared
+//! variable; the simulated machine is EREW within a step (the paper
+//! simulates "any set of `n` distinct variables"), so the variables of a
+//! step must be pairwise distinct.
+
+/// One processor's operation in a PRAM step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Read the variable; the value is returned in the step report.
+    Read {
+        /// Shared-memory variable index.
+        var: u64,
+    },
+    /// Write `value` to the variable.
+    Write {
+        /// Shared-memory variable index.
+        var: u64,
+        /// Value to store.
+        value: u64,
+    },
+}
+
+impl Op {
+    /// The variable the operation touches.
+    #[inline]
+    pub fn var(&self) -> u64 {
+        match *self {
+            Op::Read { var } | Op::Write { var, .. } => var,
+        }
+    }
+
+    /// Whether this is a write.
+    #[inline]
+    pub fn is_write(&self) -> bool {
+        matches!(self, Op::Write { .. })
+    }
+}
+
+/// A full PRAM step: `ops[p]` is processor `p`'s operation (`None` for an
+/// idle processor).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PramStep {
+    /// Per-processor operations.
+    pub ops: Vec<Option<Op>>,
+}
+
+impl PramStep {
+    /// A step where every listed processor reads/writes; shorter than `n`
+    /// means the remaining processors are idle.
+    pub fn new(ops: Vec<Option<Op>>) -> Self {
+        PramStep { ops }
+    }
+
+    /// All-reads step over the given variables (processor `p` reads
+    /// `vars[p]`).
+    pub fn reads(vars: &[u64]) -> Self {
+        PramStep {
+            ops: vars.iter().map(|&v| Some(Op::Read { var: v })).collect(),
+        }
+    }
+
+    /// All-writes step (processor `p` writes `values[p]` to `vars[p]`).
+    pub fn writes(vars: &[u64], values: &[u64]) -> Self {
+        assert_eq!(vars.len(), values.len());
+        PramStep {
+            ops: vars
+                .iter()
+                .zip(values)
+                .map(|(&var, &value)| Some(Op::Write { var, value }))
+                .collect(),
+        }
+    }
+
+    /// Number of non-idle processors.
+    pub fn active(&self) -> usize {
+        self.ops.iter().flatten().count()
+    }
+
+    /// Checks EREW validity: within-step variables pairwise distinct and
+    /// below `num_variables`. Returns the offending variable on failure.
+    pub fn validate(&self, num_variables: u64) -> Result<(), u64> {
+        let mut seen = std::collections::HashSet::new();
+        for op in self.ops.iter().flatten() {
+            let v = op.var();
+            if v >= num_variables || !seen.insert(v) {
+                return Err(v);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_catches_duplicates_and_range() {
+        let s = PramStep::reads(&[1, 2, 3]);
+        assert_eq!(s.validate(10), Ok(()));
+        assert_eq!(s.validate(3), Err(3));
+        let dup = PramStep::reads(&[1, 2, 1]);
+        assert_eq!(dup.validate(10), Err(1));
+    }
+
+    #[test]
+    fn constructors() {
+        let w = PramStep::writes(&[4, 5], &[40, 50]);
+        assert_eq!(w.active(), 2);
+        assert!(w.ops[0].unwrap().is_write());
+        assert_eq!(w.ops[1].unwrap().var(), 5);
+        let mut mixed = PramStep::default();
+        mixed.ops.push(None);
+        mixed.ops.push(Some(Op::Read { var: 0 }));
+        assert_eq!(mixed.active(), 1);
+    }
+}

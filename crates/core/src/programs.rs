@@ -1,0 +1,291 @@
+//! Multi-step PRAM programs on the simulated machine.
+//!
+//! A [`PramProgram`] produces the next PRAM step from the previous
+//! step's read results (the processors' "local state" lives in the
+//! program object, as registers live in PRAM processors). The library
+//! ships two classic EREW algorithms — Hillis–Steele prefix sums and
+//! odd-even transposition sort — used by the examples and as
+//! whole-machine integration exercises.
+
+use crate::pram::{Op, PramStep};
+use crate::sim::{PramMeshSim, SimError};
+
+/// A PRAM program: a stream of steps driven by read results.
+pub trait PramProgram {
+    /// The next step, given the previous step's reads (empty slice on
+    /// the first call). `None` ends the program.
+    fn next_step(&mut self, prev_reads: &[Option<u64>]) -> Option<PramStep>;
+}
+
+/// Aggregate measurements of a program run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProgramStats {
+    /// PRAM steps executed.
+    pub pram_steps: u64,
+    /// Total simulated mesh steps.
+    pub mesh_steps: u64,
+}
+
+/// Drives a program to completion on the simulator.
+pub fn run_program<P: PramProgram>(
+    sim: &mut PramMeshSim,
+    prog: &mut P,
+) -> Result<ProgramStats, SimError> {
+    let mut stats = ProgramStats::default();
+    let mut reads: Vec<Option<u64>> = Vec::new();
+    while let Some(step) = prog.next_step(&reads) {
+        let report = sim.step(&step)?;
+        stats.pram_steps += 1;
+        stats.mesh_steps += report.total_steps;
+        reads = report.reads;
+    }
+    Ok(stats)
+}
+
+// ---------------------------------------------------------------------
+// Prefix sums (Hillis–Steele).
+// ---------------------------------------------------------------------
+
+/// Computes prefix sums of `input` into shared variables `0..m`
+/// (`a[i] = input[0] + … + input[i]`), keeping each processor's running
+/// value in a local register so every round is one read + one write.
+#[derive(Debug)]
+pub struct PrefixSum {
+    local: Vec<u64>,
+    stride: u64,
+    state: PrefixState,
+}
+
+#[derive(Debug, PartialEq)]
+enum PrefixState {
+    Init,
+    Read,
+    Write,
+    Done,
+}
+
+impl PrefixSum {
+    /// A program over `input.len()` shared variables.
+    pub fn new(input: Vec<u64>) -> Self {
+        PrefixSum {
+            local: input,
+            stride: 1,
+            state: PrefixState::Init,
+        }
+    }
+
+    /// The per-processor results after completion.
+    pub fn result(&self) -> &[u64] {
+        &self.local
+    }
+
+    fn m(&self) -> u64 {
+        self.local.len() as u64
+    }
+}
+
+impl PramProgram for PrefixSum {
+    fn next_step(&mut self, prev_reads: &[Option<u64>]) -> Option<PramStep> {
+        let m = self.m();
+        match self.state {
+            PrefixState::Init => {
+                self.state = PrefixState::Read;
+                let vars: Vec<u64> = (0..m).collect();
+                Some(PramStep::writes(&vars, &self.local))
+            }
+            PrefixState::Read => {
+                if self.stride >= m {
+                    self.state = PrefixState::Done;
+                    return None;
+                }
+                self.state = PrefixState::Write;
+                Some(PramStep {
+                    ops: (0..m)
+                        .map(|i| {
+                            (i >= self.stride).then(|| Op::Read {
+                                var: i - self.stride,
+                            })
+                        })
+                        .collect(),
+                })
+            }
+            PrefixState::Write => {
+                // Fold the read partner into the local register, publish.
+                let mut ops = Vec::with_capacity(m as usize);
+                for i in 0..m {
+                    if i >= self.stride {
+                        self.local[i as usize] += prev_reads[i as usize]
+                            .expect("read scheduled for this processor");
+                        ops.push(Some(Op::Write {
+                            var: i,
+                            value: self.local[i as usize],
+                        }));
+                    } else {
+                        ops.push(None);
+                    }
+                }
+                self.stride *= 2;
+                self.state = PrefixState::Read;
+                Some(PramStep { ops })
+            }
+            PrefixState::Done => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Odd-even transposition sort.
+// ---------------------------------------------------------------------
+
+/// Sorts `input` in shared variables `0..m` by odd-even transposition:
+/// round `t` compare-exchanges pairs of parity `t mod 2`; processor `i`
+/// reads its partner and writes back min/max — pure EREW, `m` rounds.
+#[derive(Debug)]
+pub struct OddEvenSort {
+    local: Vec<u64>,
+    round: u64,
+    state: OesState,
+}
+
+#[derive(Debug, PartialEq)]
+enum OesState {
+    Init,
+    Read,
+    Write,
+    Done,
+}
+
+impl OddEvenSort {
+    /// A program over `input.len()` shared variables.
+    pub fn new(input: Vec<u64>) -> Self {
+        OddEvenSort {
+            local: input,
+            round: 0,
+            state: OesState::Init,
+        }
+    }
+
+    /// The sorted array after completion.
+    pub fn result(&self) -> &[u64] {
+        &self.local
+    }
+
+    fn partner(&self, i: u64) -> Option<u64> {
+        let m = self.local.len() as u64;
+        let p = self.round % 2;
+        let j = if (i + p).is_multiple_of(2) { i + 1 } else { i.checked_sub(1)? };
+        (j < m).then_some(j)
+    }
+}
+
+impl PramProgram for OddEvenSort {
+    fn next_step(&mut self, prev_reads: &[Option<u64>]) -> Option<PramStep> {
+        let m = self.local.len() as u64;
+        match self.state {
+            OesState::Init => {
+                self.state = OesState::Read;
+                let vars: Vec<u64> = (0..m).collect();
+                Some(PramStep::writes(&vars, &self.local))
+            }
+            OesState::Read => {
+                if self.round >= m {
+                    self.state = OesState::Done;
+                    return None;
+                }
+                self.state = OesState::Write;
+                Some(PramStep {
+                    ops: (0..m)
+                        .map(|i| self.partner(i).map(|j| Op::Read { var: j }))
+                        .collect(),
+                })
+            }
+            OesState::Write => {
+                let mut ops = Vec::with_capacity(m as usize);
+                for i in 0..m {
+                    match self.partner(i) {
+                        Some(j) => {
+                            let other = prev_reads[i as usize].expect("partner read");
+                            let keep = if i < j {
+                                self.local[i as usize].min(other)
+                            } else {
+                                self.local[i as usize].max(other)
+                            };
+                            self.local[i as usize] = keep;
+                            ops.push(Some(Op::Write { var: i, value: keep }));
+                        }
+                        None => ops.push(None),
+                    }
+                }
+                self.round += 1;
+                self.state = OesState::Read;
+                Some(PramStep { ops })
+            }
+            OesState::Done => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimConfig;
+    use prasim_routing::problem::SplitMix64;
+
+    fn sim() -> PramMeshSim {
+        PramMeshSim::new(SimConfig::new(256, 100)).unwrap()
+    }
+
+    #[test]
+    fn prefix_sum_correct() {
+        let mut s = sim();
+        let input: Vec<u64> = (1..=100).collect();
+        let mut prog = PrefixSum::new(input);
+        let stats = run_program(&mut s, &mut prog).unwrap();
+        for (i, &v) in prog.result().iter().enumerate() {
+            let i = i as u64 + 1;
+            assert_eq!(v, i * (i + 1) / 2, "prefix at {i}");
+        }
+        // Shared memory agrees with the local registers.
+        for (i, &v) in prog.result().iter().enumerate() {
+            assert_eq!(s.oracle_read(i as u64), v);
+        }
+        // log2(100) rounds of (read, write) + init = 2·7 + 1.
+        assert_eq!(stats.pram_steps, 15);
+        assert!(stats.mesh_steps > 0);
+    }
+
+    #[test]
+    fn odd_even_sort_correct() {
+        let mut s = sim();
+        let mut rng = SplitMix64(99);
+        let input: Vec<u64> = (0..60).map(|_| rng.below(1000)).collect();
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        let mut prog = OddEvenSort::new(input);
+        run_program(&mut s, &mut prog).unwrap();
+        assert_eq!(prog.result(), &expect[..]);
+        for (i, &v) in expect.iter().enumerate() {
+            assert_eq!(s.oracle_read(i as u64), v);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_programs() {
+        let mut s = sim();
+        let mut p0 = PrefixSum::new(vec![]);
+        let st = run_program(&mut s, &mut p0).unwrap();
+        assert_eq!(st.pram_steps, 1); // just the (empty) init write
+        let mut p1 = OddEvenSort::new(vec![5]);
+        run_program(&mut s, &mut p1).unwrap();
+        assert_eq!(p1.result(), &[5]);
+    }
+
+    #[test]
+    fn sorted_input_stays_sorted() {
+        let mut s = sim();
+        let input: Vec<u64> = (0..40).collect();
+        let mut prog = OddEvenSort::new(input.clone());
+        run_program(&mut s, &mut prog).unwrap();
+        assert_eq!(prog.result(), &input[..]);
+    }
+}

@@ -1,0 +1,372 @@
+//! The access protocol (Section 3.3): `k+1` staged routings that take
+//! each request packet through smaller and smaller submeshes to its copy,
+//! plus the memory access itself and the (charged) return trip.
+//!
+//! Stage `i` (`k+1 ≥ i ≥ 2`) runs independently inside every level-`i`
+//! submesh (the whole mesh acts as the level-`(k+1)` submesh): packets
+//! are sorted by their destination level-`(i-1)` page, ranked, and routed
+//! to spread positions (`rank mod t_{i-1}`) inside that page's submesh.
+//! Stage 1 delivers each packet to the processor holding its copy. The
+//! sorts physically permute the packets (as on the real machine), so the
+//! engine runs start from the post-sort positions.
+//!
+//! The return trip retraces the recorded path; as in the paper, its cost
+//! is dominated by the forward trip, and we charge it as equal to the
+//! forward routing steps (DESIGN.md §4).
+
+use crate::culling::SelectedCopy;
+use crate::pram::Op;
+use prasim_hmos::Hmos;
+use prasim_mesh::engine::{Engine, EngineError, Packet};
+use prasim_mesh::region::Rect;
+use prasim_mesh::topology::Coord;
+use prasim_sortnet::rank::rank_sorted;
+use prasim_sortnet::shearsort::{shearsort, SortCost};
+use prasim_sortnet::snake::{snake_coord, snake_index};
+use std::collections::HashMap;
+
+/// A memory cell: `(value, timestamp)`; absent cells read as `(0, 0)`.
+pub type Cell = (u64, u64);
+
+/// Per-stage protocol measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageReport {
+    /// Stage number (`k+1` down to `1`).
+    pub stage: u32,
+    /// Sorting/ranking steps charged (max over the parallel submeshes).
+    pub sort_steps: u64,
+    /// Packet-routing steps of the stage's engine run.
+    pub route_steps: u64,
+    /// Maximum packets held by one node after the stage — the measured
+    /// `δ_{i-1}` of Eq. (5).
+    pub max_node_load: u64,
+}
+
+/// Full protocol measurements.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProtocolReport {
+    /// One entry per stage, ordered `k+1, k, …, 1`.
+    pub stages: Vec<StageReport>,
+    /// Steps to serve the accesses at the destinations (max per-node
+    /// packets — the measured `δ_0` of Eq. (6)).
+    pub access_steps: u64,
+    /// Charged return-trip steps (= forward routing steps).
+    pub return_steps: u64,
+    /// Grand total.
+    pub total_steps: u64,
+    /// Largest engine queue observed (buffer-space certificate).
+    pub max_queue: usize,
+}
+
+/// Result of executing one PRAM step's accesses.
+#[derive(Debug, Clone)]
+pub struct AccessResult {
+    /// Protocol measurements.
+    pub report: ProtocolReport,
+    /// Per processor: the value read (None for writers and idle
+    /// processors). The freshest timestamp among the reached copies wins.
+    pub reads: Vec<Option<u64>>,
+}
+
+struct Pkt {
+    proc: u32,
+    copy: u32,
+    cur: u32, // current node index
+}
+
+/// Executes the access protocol for one PRAM step.
+///
+/// `memory[node]` maps slots to cells. `clock` is the timestamp assigned
+/// to this step's writes. `ops[p]` / `selected[p]` give processor `p`'s
+/// operation and culled copy set.
+pub fn access_protocol(
+    hmos: &Hmos,
+    memory: &mut [HashMap<u64, Cell>],
+    clock: u64,
+    ops: &[Option<Op>],
+    selected: &[Vec<SelectedCopy>],
+    max_engine_steps: u64,
+    analytic: bool,
+) -> Result<AccessResult, EngineError> {
+    let shape = hmos.shape();
+    let k = hmos.params().k;
+    let full = Rect::full(shape);
+
+    // Flatten packets.
+    let mut pkts: Vec<Pkt> = Vec::new();
+    for (p, sel) in selected.iter().enumerate() {
+        for (ci, _copy) in sel.iter().enumerate() {
+            pkts.push(Pkt {
+                proc: p as u32,
+                copy: ci as u32,
+                cur: p as u32, // processor p sits on node p
+            });
+        }
+    }
+    let copy_of = |pkt: &Pkt| -> &SelectedCopy { &selected[pkt.proc as usize][pkt.copy as usize] };
+
+    let mut report = ProtocolReport::default();
+
+    // Stages k+1 down to 2: spread into the destination level-(i-1) pages.
+    for stage in (2..=k + 1).rev() {
+        // Group packets by their containing level-`stage` submesh.
+        // Key: page-instance id at level `stage` (u32::MAX = whole mesh).
+        let mut groups: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (id, pkt) in pkts.iter().enumerate() {
+            let key = if stage == k + 1 {
+                u32::MAX
+            } else {
+                copy_of(pkt).instances[stage as usize - 1]
+            };
+            groups.entry(key).or_default().push(id);
+        }
+
+        let mut max_sort = SortCost::default();
+        let mut engine = Engine::new(shape);
+        let mut group_keys: Vec<u32> = groups.keys().copied().collect();
+        group_keys.sort_unstable(); // deterministic order
+        for gk in group_keys {
+            let rect = if gk == u32::MAX {
+                full
+            } else {
+                hmos.pages(stage)[gk as usize].rect
+            };
+            // Local snake-indexed buffers of (dest child page, pkt id).
+            let mut items: Vec<Vec<(u32, u32)>> = vec![Vec::new(); rect.area() as usize];
+            let mut h = 1usize;
+            for &id in &groups[&gk] {
+                let pkt = &pkts[id];
+                let c = shape.coord(pkt.cur);
+                debug_assert!(rect.contains(c), "packet escaped its submesh");
+                let pos = snake_index(rect.cols, c.r - rect.r0, c.c - rect.c0) as usize;
+                let child = copy_of(pkt).instances[stage as usize - 2];
+                items[pos].push((child, id as u32));
+                h = h.max(items[pos].len());
+            }
+            let mut cost = shearsort(&mut items, rect.rows, rect.cols, h);
+            let (ranks, _counts, rank_cost) =
+                rank_sorted(&items, rect.rows, rect.cols, |&(child, _)| child);
+            cost.add(rank_cost);
+            if cost.charged(analytic) > max_sort.charged(analytic) {
+                max_sort = cost;
+            }
+            // Post-sort positions + spread destinations; inject.
+            for (pos, (buf, rbuf)) in items.iter().zip(&ranks).enumerate() {
+                let (lr, lc) = snake_coord(rect.cols, pos as u32);
+                let at = Coord {
+                    r: rect.r0 + lr,
+                    c: rect.c0 + lc,
+                };
+                for (&(child, id), &rank) in buf.iter().zip(rbuf) {
+                    let child_rect = hmos.pages(stage - 1)[child as usize].rect;
+                    let dest = child_rect.coord_at((rank % child_rect.area()) as u32);
+                    pkts[id as usize].cur = shape.index(at);
+                    engine.inject(
+                        at,
+                        Packet {
+                            id: id as u64,
+                            dest,
+                            bounds: rect,
+                            tag: id as u64,
+                        },
+                    );
+                }
+            }
+        }
+        let stats = engine.run(max_engine_steps)?;
+        report.max_queue = report.max_queue.max(stats.max_queue);
+        // Update positions and measure δ_{stage-1}.
+        let mut per_node: HashMap<u32, u64> = HashMap::new();
+        for (node, pkt) in engine.take_delivered() {
+            pkts[pkt.tag as usize].cur = node;
+            *per_node.entry(node).or_insert(0) += 1;
+        }
+        let max_node_load = per_node.values().copied().max().unwrap_or(0);
+        report.stages.push(StageReport {
+            stage,
+            sort_steps: max_sort.charged(analytic),
+            route_steps: stats.steps,
+            max_node_load,
+        });
+        report.total_steps += max_sort.charged(analytic) + stats.steps;
+    }
+
+    // Stage 1: deliver to the copy-holding processors.
+    {
+        let mut engine = Engine::new(shape);
+        for (id, pkt) in pkts.iter().enumerate() {
+            let copy = copy_of(pkt);
+            let rect = hmos.pages(1)[copy.instances[0] as usize].rect;
+            let at = shape.coord(pkt.cur);
+            engine.inject(
+                at,
+                Packet {
+                    id: id as u64,
+                    dest: shape.coord(copy.node),
+                    bounds: rect,
+                    tag: id as u64,
+                },
+            );
+        }
+        let stats = engine.run(max_engine_steps)?;
+        report.max_queue = report.max_queue.max(stats.max_queue);
+        let mut per_node: HashMap<u32, u64> = HashMap::new();
+        for (node, pkt) in engine.take_delivered() {
+            pkts[pkt.tag as usize].cur = node;
+            *per_node.entry(node).or_insert(0) += 1;
+        }
+        let max_node_load = per_node.values().copied().max().unwrap_or(0);
+        report.stages.push(StageReport {
+            stage: 1,
+            sort_steps: 0,
+            route_steps: stats.steps,
+            max_node_load,
+        });
+        report.total_steps += stats.steps;
+        report.access_steps = max_node_load;
+        report.total_steps += max_node_load;
+    }
+
+    // Perform the accesses.
+    let mut read_acc: Vec<Option<(u64, u64)>> = vec![None; ops.len()]; // (ts, value)
+    for pkt in &pkts {
+        let copy = copy_of(pkt);
+        debug_assert_eq!(pkt.cur, copy.node, "packet not at its copy");
+        match ops[pkt.proc as usize] {
+            Some(Op::Read { .. }) => {
+                let (value, ts) = memory[copy.node as usize]
+                    .get(&copy.slot)
+                    .copied()
+                    .unwrap_or((0, 0));
+                let best = &mut read_acc[pkt.proc as usize];
+                if best.is_none_or(|(bts, _)| ts > bts) {
+                    *best = Some((ts, value));
+                }
+            }
+            Some(Op::Write { value, .. }) => {
+                memory[copy.node as usize].insert(copy.slot, (value, clock));
+            }
+            None => unreachable!("packet for an idle processor"),
+        }
+    }
+
+    // Return trip: retraces the recorded path; charged as the forward
+    // routing steps (the paper notes the forward part dominates).
+    report.return_steps = report.stages.iter().map(|s| s.route_steps).sum();
+    report.total_steps += report.return_steps;
+
+    let reads = read_acc
+        .into_iter()
+        .map(|r| r.map(|(_, value)| value))
+        .collect();
+    Ok(AccessResult { report, reads })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::culling::cull;
+    use crate::pram::PramStep;
+    use crate::workload;
+    use prasim_hmos::HmosParams;
+
+    fn hmos() -> Hmos {
+        Hmos::new(HmosParams::with_d(3, 2, 1024, 4).unwrap()).unwrap()
+    }
+
+    fn fresh_memory(n: u64) -> Vec<HashMap<u64, Cell>> {
+        vec![HashMap::new(); n as usize]
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let h = hmos();
+        let mut memory = fresh_memory(1024);
+        let vars = workload::random_distinct(1024, h.num_variables(), 2);
+
+        let wstep = workload::write_step(&vars, 5000);
+        let sel = cull(&h, &vars.iter().map(|&v| Some(v)).collect::<Vec<_>>(), 1.0, false);
+        let res = access_protocol(&h, &mut memory, 1, &wstep.ops, &sel.selected, 10_000_000, false)
+            .unwrap();
+        assert!(res.reads.iter().all(Option::is_none));
+
+        let rstep = workload::read_step(&vars);
+        let res = access_protocol(&h, &mut memory, 2, &rstep.ops, &sel.selected, 10_000_000, false)
+            .unwrap();
+        for (p, read) in res.reads.iter().enumerate() {
+            assert_eq!(*read, Some(5000 + p as u64), "processor {p}");
+        }
+    }
+
+    #[test]
+    fn unwritten_variables_read_zero() {
+        let h = hmos();
+        let mut memory = fresh_memory(1024);
+        let vars = workload::random_distinct(64, h.num_variables(), 4);
+        let mut reqs: Vec<Option<u64>> = vars.iter().copied().map(Some).collect();
+        reqs.resize(1024, None);
+        let sel = cull(&h, &reqs, 1.0, false);
+        let mut step = workload::read_step(&vars);
+        step.ops.resize(1024, None);
+        let res =
+            access_protocol(&h, &mut memory, 1, &step.ops, &sel.selected, 10_000_000, false).unwrap();
+        for p in 0..64 {
+            assert_eq!(res.reads[p], Some(0));
+        }
+        assert!(res.reads[64..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn report_has_all_stages() {
+        let h = hmos();
+        let mut memory = fresh_memory(1024);
+        let vars = workload::random_distinct(256, h.num_variables(), 6);
+        let mut reqs: Vec<Option<u64>> = vars.iter().copied().map(Some).collect();
+        reqs.resize(1024, None);
+        let sel = cull(&h, &reqs, 1.0, false);
+        let mut step = workload::read_step(&vars);
+        step.ops.resize(1024, None);
+        let res =
+            access_protocol(&h, &mut memory, 1, &step.ops, &sel.selected, 10_000_000, false).unwrap();
+        // k = 2: stages 3, 2, 1.
+        let stages: Vec<u32> = res.report.stages.iter().map(|s| s.stage).collect();
+        assert_eq!(stages, vec![3, 2, 1]);
+        assert!(res.report.total_steps > 0);
+        assert_eq!(
+            res.report.total_steps,
+            res.report.stages.iter().map(|s| s.sort_steps + s.route_steps).sum::<u64>()
+                + res.report.access_steps
+                + res.report.return_steps
+        );
+    }
+
+    #[test]
+    fn freshest_timestamp_wins() {
+        // Write v twice with different target sets (different clocks);
+        // a read must return the later value even when its target set
+        // overlaps both.
+        let h = hmos();
+        let mut memory = fresh_memory(1024);
+        let v = 123u64;
+        let reqs = {
+            let mut r: Vec<Option<u64>> = vec![None; 1024];
+            r[0] = Some(v);
+            r
+        };
+        let sel = cull(&h, &reqs, 1.0, false);
+        let mut wstep = PramStep {
+            ops: vec![None; 1024],
+        };
+        wstep.ops[0] = Some(Op::Write { var: v, value: 111 });
+        access_protocol(&h, &mut memory, 1, &wstep.ops, &sel.selected, 10_000_000, false).unwrap();
+        wstep.ops[0] = Some(Op::Write { var: v, value: 222 });
+        access_protocol(&h, &mut memory, 2, &wstep.ops, &sel.selected, 10_000_000, false).unwrap();
+        let mut rstep = PramStep {
+            ops: vec![None; 1024],
+        };
+        rstep.ops[0] = Some(Op::Read { var: v });
+        let res =
+            access_protocol(&h, &mut memory, 3, &rstep.ops, &sel.selected, 10_000_000, false).unwrap();
+        assert_eq!(res.reads[0], Some(222));
+    }
+}

@@ -1,0 +1,184 @@
+//! Deterministic request-set generators, including the adversarial
+//! patterns the worst-case analysis is about.
+
+use crate::pram::{Op, PramStep};
+use prasim_hmos::Hmos;
+use prasim_routing::problem::SplitMix64;
+
+/// `n` distinct uniformly random variables (a "typical" PRAM step).
+pub fn random_distinct(n: u64, num_variables: u64, seed: u64) -> Vec<u64> {
+    assert!(num_variables >= n, "need at least n variables");
+    let mut rng = SplitMix64(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(n as usize);
+    let mut out = Vec::with_capacity(n as usize);
+    while out.len() < n as usize {
+        let v = rng.below(num_variables);
+        if chosen.insert(v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// The first `n` variables (maximally regular access — stresses any
+/// placement with arithmetic structure).
+pub fn sequential(n: u64) -> Vec<u64> {
+    (0..n).collect()
+}
+
+/// Strided access `0, s, 2s, …` (mod the memory size, made distinct).
+/// When the stride's cycle has fewer than `n` residues (gcd > 1), the
+/// next pass starts shifted by one.
+pub fn strided(n: u64, num_variables: u64, stride: u64) -> Vec<u64> {
+    assert!(num_variables >= n);
+    let stride = stride.max(1);
+    let mut seen = std::collections::HashSet::with_capacity(n as usize);
+    let mut out = Vec::with_capacity(n as usize);
+    let mut offset = 0u64;
+    while out.len() < n as usize {
+        let mut x = offset;
+        for _ in 0..num_variables {
+            let v = x % num_variables;
+            if seen.insert(v) {
+                out.push(v);
+                if out.len() == n as usize {
+                    break;
+                }
+            }
+            x = x.wrapping_add(stride);
+        }
+        offset += 1;
+    }
+    out
+}
+
+/// **Module-saturating adversary.** Picks variables all of whose level-1
+/// homes include one fixed module: the inputs of level-1 module `module`
+/// in the variable-placement BIBD. Against a single-copy scheme the
+/// analogous pattern serializes completely; against the HMOS the culling
+/// bound (Theorem 3) caps the damage. Returns at most
+/// `min(n, degree(module))` variables.
+pub fn module_adversary(hmos: &Hmos, module: u64, n: u64) -> Vec<u64> {
+    let mut vars = hmos.graph(0).inputs_of_output(module);
+    vars.truncate(n as usize);
+    vars
+}
+
+/// Variables drawn from as few level-1 modules as possible (greedy
+/// multi-module saturation): concatenates the inputs of consecutive
+/// modules until `n` distinct variables are collected.
+pub fn multi_module_adversary(hmos: &Hmos, n: u64, first_module: u64) -> Vec<u64> {
+    let m1 = hmos.params().m[0];
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(n as usize);
+    let mut module = first_module % m1;
+    while out.len() < n as usize {
+        for v in hmos.graph(0).inputs_of_output(module) {
+            if out.len() == n as usize {
+                break;
+            }
+            if seen.insert(v) {
+                out.push(v);
+            }
+        }
+        module = (module + 1) % m1;
+    }
+    out
+}
+
+/// Builds an all-reads step from a variable list.
+pub fn read_step(vars: &[u64]) -> PramStep {
+    PramStep::reads(vars)
+}
+
+/// Builds an all-writes step writing `tag + index` to each variable.
+pub fn write_step(vars: &[u64], tag: u64) -> PramStep {
+    PramStep {
+        ops: vars
+            .iter()
+            .enumerate()
+            .map(|(i, &var)| {
+                Some(Op::Write {
+                    var,
+                    value: tag + i as u64,
+                })
+            })
+            .collect(),
+    }
+}
+
+/// A mixed read/write step: even processors write, odd processors read.
+pub fn mixed_step(vars: &[u64], tag: u64) -> PramStep {
+    PramStep {
+        ops: vars
+            .iter()
+            .enumerate()
+            .map(|(i, &var)| {
+                Some(if i % 2 == 0 {
+                    Op::Write {
+                        var,
+                        value: tag + i as u64,
+                    }
+                } else {
+                    Op::Read { var }
+                })
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prasim_hmos::{Hmos, HmosParams};
+
+    fn hmos() -> Hmos {
+        Hmos::new(HmosParams::with_d(3, 2, 1024, 4).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn random_distinct_is_distinct() {
+        let v = random_distinct(100, 1080, 5);
+        let set: std::collections::HashSet<_> = v.iter().collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn module_adversary_targets_one_module() {
+        let h = hmos();
+        let vars = module_adversary(&h, 0, 1024);
+        assert!(!vars.is_empty());
+        for &v in &vars {
+            assert!(h.graph(0).neighbors(v).contains(&0));
+        }
+        // A level-1 module has (full BIBD) degree (q^d - 1)/(q - 1) = 40.
+        assert_eq!(vars.len(), 40);
+    }
+
+    #[test]
+    fn multi_module_adversary_fills_n() {
+        let h = hmos();
+        let vars = multi_module_adversary(&h, 200, 3);
+        assert_eq!(vars.len(), 200);
+        let set: std::collections::HashSet<_> = vars.iter().collect();
+        assert_eq!(set.len(), 200);
+    }
+
+    #[test]
+    fn strided_distinct() {
+        let v = strided(50, 1080, 27);
+        let set: std::collections::HashSet<_> = v.iter().collect();
+        assert_eq!(set.len(), 50);
+    }
+
+    #[test]
+    fn step_builders() {
+        let vars = vec![3, 7, 11];
+        assert_eq!(read_step(&vars).active(), 3);
+        let w = write_step(&vars, 100);
+        assert!(w.ops.iter().flatten().all(|o| o.is_write()));
+        let m = mixed_step(&vars, 0);
+        assert!(m.ops[0].unwrap().is_write());
+        assert!(!m.ops[1].unwrap().is_write());
+    }
+}

@@ -1,0 +1,279 @@
+//! Dense polynomial arithmetic over prime fields `F_p`.
+//!
+//! Polynomials are coefficient vectors (`coeffs[i]` is the coefficient of
+//! `x^i`), always kept *normalized* (no trailing zeros; the zero polynomial
+//! is the empty vector). All arithmetic is modulo a prime `p` supplied per
+//! call — the polynomials here are short-lived scratch values used only to
+//! construct extension fields, so a per-call modulus keeps the type simple.
+
+/// A polynomial over `F_p`, represented by its coefficient vector.
+pub type Poly = Vec<u64>;
+
+/// Removes trailing zero coefficients in place.
+pub fn normalize(a: &mut Poly) {
+    while a.last() == Some(&0) {
+        a.pop();
+    }
+}
+
+/// Degree of `a`, or `None` for the zero polynomial.
+pub fn degree(a: &[u64]) -> Option<usize> {
+    if a.is_empty() {
+        None
+    } else {
+        Some(a.len() - 1)
+    }
+}
+
+/// `a + b (mod p)`.
+pub fn add(a: &[u64], b: &[u64], p: u64) -> Poly {
+    let n = a.len().max(b.len());
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        out.push((x + y) % p);
+    }
+    normalize(&mut out);
+    out
+}
+
+/// `a - b (mod p)`.
+pub fn sub(a: &[u64], b: &[u64], p: u64) -> Poly {
+    let n = a.len().max(b.len());
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        out.push((x + p - y) % p);
+    }
+    normalize(&mut out);
+    out
+}
+
+/// `a * b (mod p)` (schoolbook; inputs are tiny).
+pub fn mul(a: &[u64], b: &[u64], p: u64) -> Poly {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] = (out[i + j] + x * y) % p;
+        }
+    }
+    normalize(&mut out);
+    out
+}
+
+/// `a mod m` over `F_p`. `m` must be non-zero.
+pub fn rem(a: &[u64], m: &[u64], p: u64) -> Poly {
+    assert!(!m.is_empty(), "division by zero polynomial");
+    let mut r: Poly = a.to_vec();
+    normalize(&mut r);
+    let dm = m.len() - 1;
+    let lead_inv = inv_mod(m[dm], p);
+    while r.len() > dm {
+        let dr = r.len() - 1;
+        let coef = (r[dr] * lead_inv) % p;
+        if coef != 0 {
+            let shift = dr - dm;
+            for (j, &mj) in m.iter().enumerate() {
+                let t = (coef * mj) % p;
+                r[shift + j] = (r[shift + j] + p - t) % p;
+            }
+        }
+        // Highest coefficient is now zero by construction.
+        r.pop();
+        normalize(&mut r);
+        if r.is_empty() {
+            break;
+        }
+    }
+    r
+}
+
+/// `x^n mod m` over `F_p` by square-and-multiply on polynomials.
+pub fn pow_x_mod(n: u64, m: &[u64], p: u64) -> Poly {
+    let mut result: Poly = vec![1];
+    let mut base: Poly = rem(&[0, 1], m, p); // x mod m
+    let mut e = n;
+    while e > 0 {
+        if e & 1 == 1 {
+            result = rem(&mul(&result, &base, p), m, p);
+        }
+        base = rem(&mul(&base, &base, p), m, p);
+        e >>= 1;
+    }
+    result
+}
+
+/// Multiplicative inverse of `a` in `F_p` (`a ≠ 0`), via Fermat.
+pub fn inv_mod(a: u64, p: u64) -> u64 {
+    assert!(!a.is_multiple_of(p), "zero has no inverse");
+    pow_mod(a % p, p - 2, p)
+}
+
+/// `a^e mod p`.
+pub fn pow_mod(mut a: u64, mut e: u64, p: u64) -> u64 {
+    let mut r = 1u64;
+    a %= p;
+    while e > 0 {
+        if e & 1 == 1 {
+            r = r * a % p;
+        }
+        a = a * a % p;
+        e >>= 1;
+    }
+    r
+}
+
+/// Tests whether the monic polynomial `f` of degree `e ≥ 1` is irreducible
+/// over `F_p`, using the standard criterion:
+/// `x^(p^e) ≡ x (mod f)` and `gcd-free` checks `x^(p^(e/t)) ≢ x (mod f)`
+/// for every prime divisor `t` of `e`.
+pub fn is_irreducible(f: &[u64], p: u64) -> bool {
+    let e = match degree(f) {
+        Some(d) if d >= 1 => d as u32,
+        _ => return false,
+    };
+    // x^(p^e) mod f must equal x.
+    let x = vec![0u64, 1];
+    let q = p.pow(e);
+    if pow_x_mod(q, f, p) != rem(&x, f, p) {
+        return false;
+    }
+    // For each prime divisor t of e, x^(p^(e/t)) mod f must differ from x.
+    let mut m = e;
+    let mut t = 2u32;
+    let mut prime_divs = Vec::new();
+    while t * t <= m {
+        if m % t == 0 {
+            prime_divs.push(t);
+            while m % t == 0 {
+                m /= t;
+            }
+        }
+        t += 1;
+    }
+    if m > 1 {
+        prime_divs.push(m);
+    }
+    for t in prime_divs {
+        let qq = p.pow(e / t);
+        if pow_x_mod(qq, f, p) == rem(&x, f, p) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Finds the lexicographically smallest monic irreducible polynomial of
+/// degree `e` over `F_p` (coefficients enumerated low-to-high as base-`p`
+/// counters). Always succeeds: irreducible polynomials of every degree
+/// exist over every finite field.
+pub fn find_irreducible(p: u64, e: u32) -> Poly {
+    assert!(e >= 1);
+    if e == 1 {
+        return vec![0, 1]; // x itself
+    }
+    let count = p.pow(e); // enumerate the e low-order coefficients
+    for c in 0..count {
+        let mut f = Vec::with_capacity(e as usize + 1);
+        let mut v = c;
+        for _ in 0..e {
+            f.push(v % p);
+            v /= p;
+        }
+        f.push(1); // monic
+        if is_irreducible(&f, p) {
+            return f;
+        }
+    }
+    unreachable!("irreducible polynomial of degree {e} over F_{p} must exist");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let p = 5;
+        let a = vec![1, 2, 3];
+        let b = vec![4, 4];
+        let s = add(&a, &b, p);
+        assert_eq!(sub(&s, &b, p), a);
+    }
+
+    #[test]
+    fn mul_degrees() {
+        let p = 3;
+        let a = vec![1, 1]; // 1 + x
+        let b = vec![2, 0, 1]; // 2 + x^2
+        let c = mul(&a, &b, p);
+        // (1+x)(2+x^2) = 2 + 2x + x^2 + x^3
+        assert_eq!(c, vec![2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn rem_basic() {
+        let p = 3;
+        // x^2 mod (x^2 + 1) = -1 = 2
+        let r = rem(&[0, 0, 1], &[1, 0, 1], p);
+        assert_eq!(r, vec![2]);
+    }
+
+    #[test]
+    fn rem_reduces_degree() {
+        let p = 7;
+        let m = vec![3, 1, 1]; // x^2 + x + 3
+        for n in 0..40u64 {
+            let mut a = vec![0u64; n as usize + 1];
+            a[n as usize] = 1;
+            let r = rem(&a, &m, p);
+            assert!(r.len() <= 2, "rem degree too high for x^{n}");
+        }
+    }
+
+    #[test]
+    fn known_irreducibles() {
+        // x^2 + 1 irreducible over F_3 (no root: 0,1,2 -> 1,2,2).
+        assert!(is_irreducible(&[1, 0, 1], 3));
+        // x^2 + 1 reducible over F_5 (2^2 = 4 = -1).
+        assert!(!is_irreducible(&[1, 0, 1], 5));
+        // x^2 + x + 1 irreducible over F_2.
+        assert!(is_irreducible(&[1, 1, 1], 2));
+        // x^2 reducible everywhere.
+        assert!(!is_irreducible(&[0, 0, 1], 3));
+    }
+
+    #[test]
+    fn find_irreducible_has_no_roots() {
+        for &(p, e) in &[(2u64, 2u32), (2, 3), (2, 4), (3, 2), (3, 3), (5, 2), (7, 2)] {
+            let f = find_irreducible(p, e);
+            assert_eq!(degree(&f), Some(e as usize));
+            assert_eq!(*f.last().unwrap(), 1, "must be monic");
+            for r in 0..p {
+                let mut val = 0u64;
+                for &c in f.iter().rev() {
+                    val = (val * r + c) % p;
+                }
+                assert_ne!(val, 0, "root {r} found for supposedly irreducible poly");
+            }
+        }
+    }
+
+    #[test]
+    fn pow_mod_fermat() {
+        for p in [2u64, 3, 5, 7, 11, 13] {
+            for a in 1..p {
+                assert_eq!(pow_mod(a, p - 1, p), 1, "Fermat fails for {a} mod {p}");
+                assert_eq!(a * inv_mod(a, p) % p, 1);
+            }
+        }
+    }
+}

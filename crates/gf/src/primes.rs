@@ -1,0 +1,114 @@
+//! Prime and prime-power recognition for small (`u64`) orders.
+//!
+//! The field orders used by the PRAM simulation are tiny (q = 3, 4, 5, …),
+//! so simple trial division is more than adequate and keeps this crate
+//! dependency-free.
+
+/// Returns `true` if `n` is prime (deterministic trial division).
+///
+/// Intended for small `n`; runs in `O(√n)` divisions.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    if n.is_multiple_of(3) {
+        return n == 3;
+    }
+    let mut d = 5u64;
+    while d.saturating_mul(d) <= n {
+        if n.is_multiple_of(d) || n.is_multiple_of(d + 2) {
+            return false;
+        }
+        d += 6;
+    }
+    true
+}
+
+/// If `q = p^e` for a prime `p` and integer `e ≥ 1`, returns `Some((p, e))`.
+///
+/// Returns `None` for 0, 1, and any order with more than one prime factor.
+///
+/// ```
+/// use prasim_gf::prime_power;
+/// assert_eq!(prime_power(27), Some((3, 3)));
+/// assert_eq!(prime_power(12), None);
+/// ```
+pub fn prime_power(q: u64) -> Option<(u64, u32)> {
+    if q < 2 {
+        return None;
+    }
+    // Find the smallest prime factor, then check q is a pure power of it.
+    let p = smallest_prime_factor(q);
+    let mut rem = q;
+    let mut e = 0u32;
+    while rem.is_multiple_of(p) {
+        rem /= p;
+        e += 1;
+    }
+    if rem == 1 {
+        Some((p, e))
+    } else {
+        None
+    }
+}
+
+/// Smallest prime factor of `n ≥ 2` by trial division.
+pub fn smallest_prime_factor(n: u64) -> u64 {
+    debug_assert!(n >= 2);
+    if n.is_multiple_of(2) {
+        return 2;
+    }
+    let mut d = 3u64;
+    while d.saturating_mul(d) <= n {
+        if n.is_multiple_of(d) {
+            return d;
+        }
+        d += 2;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primes_small() {
+        let primes: Vec<u64> = (0..60).filter(|&n| is_prime(n)).collect();
+        assert_eq!(
+            primes,
+            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]
+        );
+    }
+
+    #[test]
+    fn prime_powers_small() {
+        assert_eq!(prime_power(0), None);
+        assert_eq!(prime_power(1), None);
+        assert_eq!(prime_power(2), Some((2, 1)));
+        assert_eq!(prime_power(3), Some((3, 1)));
+        assert_eq!(prime_power(4), Some((2, 2)));
+        assert_eq!(prime_power(5), Some((5, 1)));
+        assert_eq!(prime_power(6), None);
+        assert_eq!(prime_power(8), Some((2, 3)));
+        assert_eq!(prime_power(9), Some((3, 2)));
+        assert_eq!(prime_power(16), Some((2, 4)));
+        assert_eq!(prime_power(25), Some((5, 2)));
+        assert_eq!(prime_power(27), Some((3, 3)));
+        assert_eq!(prime_power(49), Some((7, 2)));
+        assert_eq!(prime_power(121), Some((11, 2)));
+        assert_eq!(prime_power(1000), None);
+    }
+
+    #[test]
+    fn spf_matches_factorization() {
+        for n in 2u64..500 {
+            let p = smallest_prime_factor(n);
+            assert!(is_prime(p), "spf({n}) = {p} not prime");
+            assert_eq!(n % p, 0);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests of the field axioms for a spread of prime powers.
+
+use prasim_gf::Gf;
+use proptest::prelude::*;
+
+/// Orders mixing prime fields and extension fields of both characteristics.
+const ORDERS: &[u64] = &[3, 4, 8, 9, 13, 27, 32, 49, 64, 81, 121, 125, 243, 256];
+
+fn field_and_elems() -> impl Strategy<Value = (u64, u64, u64, u64)> {
+    prop::sample::select(ORDERS)
+        .prop_flat_map(|q| (Just(q), 0..q, 0..q, 0..q))
+}
+
+proptest! {
+    #[test]
+    fn ring_axioms((q, a, b, c) in field_and_elems()) {
+        let f = Gf::new(q).unwrap();
+        // Commutativity
+        prop_assert_eq!(f.add(a, b), f.add(b, a));
+        prop_assert_eq!(f.mul(a, b), f.mul(b, a));
+        // Associativity
+        prop_assert_eq!(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+        prop_assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+        // Distributivity
+        prop_assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+        // Identities
+        prop_assert_eq!(f.add(a, 0), a);
+        prop_assert_eq!(f.mul(a, 1), a);
+        // Closure
+        prop_assert!(f.contains(f.add(a, b)));
+        prop_assert!(f.contains(f.mul(a, b)));
+    }
+
+    #[test]
+    fn inverses((q, a, b, _c) in field_and_elems()) {
+        let f = Gf::new(q).unwrap();
+        prop_assert_eq!(f.add(a, f.neg(a)), 0);
+        prop_assert_eq!(f.sub(a, b), f.add(a, f.neg(b)));
+        if a != 0 {
+            prop_assert_eq!(f.mul(a, f.inv(a)), 1);
+            prop_assert_eq!(f.div(f.mul(b, a), a), b);
+        }
+    }
+
+    #[test]
+    fn pow_laws((q, a, _b, _c) in field_and_elems(), m in 0u64..50, n in 0u64..50) {
+        let f = Gf::new(q).unwrap();
+        prop_assert_eq!(f.mul(f.pow(a, m), f.pow(a, n)), f.pow(a, m + n));
+        prop_assert_eq!(f.pow(f.pow(a, m), n), f.pow(a, m * n));
+    }
+
+    #[test]
+    fn no_zero_divisors((q, a, b, _c) in field_and_elems()) {
+        let f = Gf::new(q).unwrap();
+        if a != 0 && b != 0 {
+            prop_assert_ne!(f.mul(a, b), 0);
+        }
+    }
+}
+
+#[test]
+fn fermat_little_theorem_all_orders() {
+    for &q in ORDERS {
+        let f = Gf::new(q).unwrap();
+        for a in 1..q {
+            assert_eq!(f.pow(a, q - 1), 1, "a^(q-1) != 1 in GF({q}) for a={a}");
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! The copy tree `T_v`, hierarchical majority access (Definition 2), and
+//! minimal target-set extraction.
+//!
+//! The `q^k` copies of a variable are the leaves of a complete `q`-ary
+//! tree of height `k`. A leaf is *accessed* when its copy is reached; an
+//! internal node is accessed when a majority (`⌊q/2⌋+1`) of its children
+//! are. A *target set* is a leaf set whose access reaches the root — the
+//! hierarchical generalization of the Gifford/Thomas majority quorum:
+//! any two target sets intersect, so timestamps always expose the
+//! freshest value.
+//!
+//! CULLING works with the stronger *extensive* access at level `i`:
+//! internal nodes at depth ≥ `i` require `⌊q/2⌋+2` accessed children
+//! (depth < `i` keeps the plain majority). Extraction of minimal target
+//! sets is a small DP over the tree that maximizes a caller-supplied
+//! preference — used by CULLING to prefer already-marked copies.
+
+/// Tree-shape parameters for target-set computations: `q`-ary, height `k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TargetSpec {
+    /// Branching factor (the redundancy base).
+    pub q: u64,
+    /// Height (the number of HMOS levels).
+    pub k: u32,
+}
+
+impl TargetSpec {
+    /// Majority threshold `⌊q/2⌋ + 1`.
+    #[inline]
+    pub fn majority(&self) -> usize {
+        (self.q / 2 + 1) as usize
+    }
+
+    /// Extensive threshold `⌊q/2⌋ + 2` (requires `q ≥ 3`).
+    #[inline]
+    pub fn extensive(&self) -> usize {
+        (self.q / 2 + 2) as usize
+    }
+
+    /// Number of leaves, `q^k`.
+    #[inline]
+    pub fn num_leaves(&self) -> u64 {
+        self.q.pow(self.k)
+    }
+
+    /// Children threshold for an internal node at `depth` under
+    /// extensive-access level `ext_level` (Section 3.2): depth ≥
+    /// ext_level ⇒ extensive, else majority. `ext_level = k` is plain
+    /// (Definition 2) access; `ext_level = 0` is fully extensive.
+    #[inline]
+    pub fn threshold(&self, depth: u32, ext_level: u32) -> usize {
+        if depth >= ext_level {
+            self.extensive()
+        } else {
+            self.majority()
+        }
+    }
+
+    /// Size of a minimal level-`i` target set:
+    /// `majority^min(i,k) · extensive^(k - min(i,k))`.
+    pub fn minimal_size(&self, ext_level: u32) -> u64 {
+        let maj_levels = ext_level.min(self.k);
+        (self.majority() as u64).pow(maj_levels)
+            * (self.extensive() as u64).pow(self.k - maj_levels)
+    }
+
+    /// Whether the leaf set grants (extensive-at-`ext_level`) access to
+    /// the root. Leaves are indices in `[0, q^k)` with the level-1 branch
+    /// as the least-significant base-`q` digit (matching
+    /// [`crate::scheme::CopyAddr::leaf_index`]).
+    pub fn is_level_target(&self, leaves: &[u64], ext_level: u32) -> bool {
+        let mut present = vec![false; self.num_leaves() as usize];
+        for &l in leaves {
+            present[l as usize] = true;
+        }
+        self.accessed(&present, 0, 0, ext_level)
+    }
+
+    /// Plain (Definition 2) target-set test.
+    pub fn is_target(&self, leaves: &[u64]) -> bool {
+        self.is_level_target(leaves, self.k)
+    }
+
+    fn accessed(&self, present: &[bool], depth: u32, prefix: u64, ext_level: u32) -> bool {
+        if depth == self.k {
+            return present[prefix as usize];
+        }
+        let stride = self.q.pow(depth);
+        let mut count = 0usize;
+        for c in 0..self.q {
+            if self.accessed(present, depth + 1, prefix + c * stride, ext_level) {
+                count += 1;
+            }
+        }
+        count >= self.threshold(depth, ext_level)
+    }
+
+    /// Extracts a minimal level-`ext_level` target set from the leaves
+    /// for which `avail` is true, choosing — among minimal sets — one
+    /// that maximizes the sum of `pref` over its leaves (ties broken by
+    /// smaller child index, so the result is deterministic). Returns
+    /// `None` if no target set exists within `avail`.
+    pub fn extract_minimal<A, P>(&self, ext_level: u32, avail: A, pref: P) -> Option<Vec<u64>>
+    where
+        A: Fn(u64) -> bool,
+        P: Fn(u64) -> u64,
+    {
+        self.extract_rec(0, 0, ext_level, &avail, &pref)
+            .map(|(_, leaves)| leaves)
+    }
+
+    fn extract_rec<A, P>(
+        &self,
+        depth: u32,
+        prefix: u64,
+        ext_level: u32,
+        avail: &A,
+        pref: &P,
+    ) -> Option<(u64, Vec<u64>)>
+    where
+        A: Fn(u64) -> bool,
+        P: Fn(u64) -> u64,
+    {
+        if depth == self.k {
+            return if avail(prefix) {
+                Some((pref(prefix), vec![prefix]))
+            } else {
+                None
+            };
+        }
+        let stride = self.q.pow(depth);
+        let mut kids: Vec<(u64, u64, Vec<u64>)> = Vec::with_capacity(self.q as usize); // (score, child, leaves)
+        for c in 0..self.q {
+            if let Some((score, leaves)) =
+                self.extract_rec(depth + 1, prefix + c * stride, ext_level, avail, pref)
+            {
+                kids.push((score, c, leaves));
+            }
+        }
+        let t = self.threshold(depth, ext_level);
+        if kids.len() < t {
+            return None;
+        }
+        // Highest preference first; stable tie-break on child index.
+        kids.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        kids.truncate(t);
+        // Saturating: arbitrary caller preferences must not overflow.
+        let score = kids.iter().fold(0u64, |a, k| a.saturating_add(k.0));
+        let mut leaves: Vec<u64> = kids.into_iter().flat_map(|k| k.2).collect();
+        leaves.sort_unstable();
+        Some((score, leaves))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_sizes() {
+        let s = TargetSpec { q: 3, k: 2 };
+        assert_eq!(s.minimal_size(2), 4); // majority 2, all levels: 2^2
+        assert_eq!(s.minimal_size(0), 9); // extensive 3 everywhere: 3^2
+        assert_eq!(s.minimal_size(1), 6); // 2 · 3
+        let s5 = TargetSpec { q: 5, k: 3 };
+        assert_eq!(s5.minimal_size(3), 27); // 3^3
+        assert_eq!(s5.minimal_size(0), 64); // 4^3
+    }
+
+    #[test]
+    fn extraction_is_minimal_and_valid() {
+        for (q, k) in [(3u64, 1u32), (3, 2), (3, 3), (4, 2), (5, 2)] {
+            let s = TargetSpec { q, k };
+            for ext in 0..=k {
+                let set = s
+                    .extract_minimal(ext, |_| true, |_| 0)
+                    .expect("full availability must yield a target set");
+                assert_eq!(set.len() as u64, s.minimal_size(ext), "q={q} k={k} ext={ext}");
+                assert!(s.is_level_target(&set, ext));
+                // A minimal level-i target set contains a target set
+                // (paper, Section 3.2).
+                assert!(s.is_target(&set));
+                // Removing any leaf breaks level-ext access (minimality).
+                for drop in 0..set.len() {
+                    let mut fewer = set.clone();
+                    fewer.remove(drop);
+                    assert!(
+                        !s.is_level_target(&fewer, ext),
+                        "set minus leaf {drop} still a level-{ext} target"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extraction_respects_availability() {
+        let s = TargetSpec { q: 3, k: 2 };
+        // Block an entire root child subtree (leaves ≡ 0 mod 3 is the
+        // level-1 branch digit): root still has 2 of 3 children = majority.
+        let set = s.extract_minimal(s.k, |l| l % 3 != 0, |_| 0).unwrap();
+        assert!(set.iter().all(|l| l % 3 != 0));
+        assert!(s.is_target(&set));
+        // Block two root children: majority 2 unreachable.
+        assert!(s.extract_minimal(s.k, |l| l % 3 == 2, |_| 0).is_none());
+    }
+
+    #[test]
+    fn extraction_maximizes_preference() {
+        let s = TargetSpec { q: 3, k: 2 };
+        // Prefer the odd leaves; a full-preference minimal target set
+        // exists iff a target set within the preferred leaves exists.
+        let marked = |l: u64| l >= 4; // leaves 4..9 marked
+        let set = s
+            .extract_minimal(s.k, |_| true, |l| if marked(l) { 1 } else { 0 })
+            .unwrap();
+        let marked_count = set.iter().filter(|&&l| marked(l)).count();
+        // If an all-marked minimal target set exists the DP must find it.
+        if s.extract_minimal(s.k, marked, |_| 0).is_some() {
+            assert_eq!(marked_count, set.len());
+        }
+    }
+
+    #[test]
+    fn any_two_target_sets_intersect() {
+        // The consistency cornerstone: every pair of (majority) target
+        // sets shares a leaf. Exhaustive over the deterministic extracts
+        // seeded by distinct preferences.
+        for (q, k) in [(3u64, 2u32), (3, 3), (5, 2)] {
+            let s = TargetSpec { q, k };
+            let mut sets = Vec::new();
+            for seed in 0..40u64 {
+                let set = s
+                    .extract_minimal(s.k, |_| true, |l| {
+                        l.wrapping_mul(0x9E3779B97F4A7C15 ^ seed.wrapping_mul(0xBF58476D1CE4E5B9))
+                            >> 32
+                    })
+                    .unwrap();
+                sets.push(set);
+            }
+            for a in &sets {
+                for b in &sets {
+                    assert!(
+                        a.iter().any(|l| b.contains(l)),
+                        "disjoint target sets found for q={q} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn level_target_implies_plain_target() {
+        let s = TargetSpec { q: 3, k: 3 };
+        for ext in 0..=3u32 {
+            for seed in 0..10u64 {
+                let set = s
+                    .extract_minimal(ext, |l| (l ^ seed) % 7 != 0 || ext == 0, |l| l % 5)
+                    .or_else(|| s.extract_minimal(ext, |_| true, |l| l % 5))
+                    .unwrap();
+                if s.is_level_target(&set, ext) {
+                    assert!(s.is_target(&set));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thresholds_by_depth() {
+        let s = TargetSpec { q: 3, k: 3 };
+        assert_eq!(s.threshold(0, 2), 2); // depth 0 < ext 2: majority
+        assert_eq!(s.threshold(1, 2), 2);
+        assert_eq!(s.threshold(2, 2), 3); // depth 2 ≥ ext 2: extensive
+        assert_eq!(s.threshold(0, 0), 3);
+        assert_eq!(s.threshold(2, 3), 2);
+    }
+}

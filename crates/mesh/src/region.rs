@@ -1,0 +1,328 @@
+//! Rectangular submeshes and near-equal recursive tessellations.
+//!
+//! The HMOS maps level-`i` pages onto the submeshes of the `i`-th
+//! tessellation. Because the module counts (`q^{d_i}`) do not generally
+//! divide a square mesh evenly, we split rectangles *proportionally along
+//! the longer axis*, which keeps every part an axis-aligned rectangle of
+//! near-equal area (within the rounding incurred by integer splits). The
+//! Θ-bounds of Eq. (4) are preserved; validators in the test suite and in
+//! table T8 measure the realized imbalance.
+
+use crate::topology::{Coord, MeshShape};
+
+/// An axis-aligned rectangle of mesh nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    /// Top row.
+    pub r0: u32,
+    /// Left column.
+    pub c0: u32,
+    /// Number of rows (≥ 1 unless the rect is empty).
+    pub rows: u32,
+    /// Number of columns.
+    pub cols: u32,
+}
+
+impl Rect {
+    /// The rectangle covering an entire mesh.
+    pub fn full(shape: MeshShape) -> Self {
+        Rect {
+            r0: 0,
+            c0: 0,
+            rows: shape.rows,
+            cols: shape.cols,
+        }
+    }
+
+    /// Node count.
+    #[inline]
+    pub fn area(&self) -> u64 {
+        self.rows as u64 * self.cols as u64
+    }
+
+    /// Whether `c` lies inside this rectangle.
+    #[inline]
+    pub fn contains(&self, c: Coord) -> bool {
+        c.r >= self.r0 && c.r < self.r0 + self.rows && c.c >= self.c0 && c.c < self.c0 + self.cols
+    }
+
+    /// Row-major position of `c` within the rectangle.
+    #[inline]
+    pub fn local_index(&self, c: Coord) -> u32 {
+        debug_assert!(self.contains(c));
+        (c.r - self.r0) * self.cols + (c.c - self.c0)
+    }
+
+    /// Coordinate of the `i`-th node in row-major order.
+    #[inline]
+    pub fn coord_at(&self, i: u32) -> Coord {
+        debug_assert!((i as u64) < self.area());
+        Coord {
+            r: self.r0 + i / self.cols,
+            c: self.c0 + i % self.cols,
+        }
+    }
+
+    /// Iterator over all coordinates, row-major.
+    pub fn coords(&self) -> impl Iterator<Item = Coord> + '_ {
+        (0..self.area() as u32).map(move |i| self.coord_at(i))
+    }
+
+    /// Whether `other` is fully contained in `self`.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.r0 >= self.r0
+            && other.c0 >= self.c0
+            && other.r0 + other.rows <= self.r0 + self.rows
+            && other.c0 + other.cols <= self.c0 + self.cols
+    }
+
+    /// Splits the rectangle into `count` sub-rectangles of near-equal
+    /// area, each with at least one node. Recursively halves the part
+    /// count and splits the longer axis proportionally.
+    ///
+    /// Returns `None` if `count` exceeds the area (some part would be
+    /// empty) or `count == 0`.
+    pub fn split(&self, count: u64) -> Option<Vec<Rect>> {
+        if count == 0 || count > self.area() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(count as usize);
+        self.split_into(count, &mut out);
+        Some(out)
+    }
+
+    fn split_into(&self, count: u64, out: &mut Vec<Rect>) {
+        if count == 1 {
+            out.push(*self);
+            return;
+        }
+        // Preferred split: halve the part count and place the cut on the
+        // longer axis proportionally — this keeps per-part areas within a
+        // small rounding of area/count all the way down. If the rounding
+        // makes a side too small for its share (only near count ≈ area),
+        // fall back to a midpoint cut with area-proportional counts,
+        // which is always feasible for count ≤ area.
+        let horizontal = self.rows >= self.cols; // split rows into two bands
+        let (len, other) = if horizontal {
+            (self.rows as u64, self.cols as u64)
+        } else {
+            (self.cols as u64, self.rows as u64)
+        };
+        debug_assert!(len >= 2, "count ≥ 2 requires a splittable axis");
+        let mut c1 = count.div_ceil(2);
+        let mut pos = ((len * c1 + count / 2) / count).clamp(1, len - 1);
+        if c1 > pos * other || count - c1 > (len - pos) * other {
+            pos = len / 2;
+            let area1 = pos * other;
+            let area2 = (len - pos) * other;
+            let ideal = (count * area1 + self.area() / 2) / self.area();
+            let lo = count.saturating_sub(area2).max(1);
+            let hi = (count - 1).min(area1);
+            c1 = ideal.clamp(lo, hi);
+        }
+        let c2 = count - c1;
+        let (a, b) = if horizontal {
+            (
+                Rect {
+                    r0: self.r0,
+                    c0: self.c0,
+                    rows: pos as u32,
+                    cols: self.cols,
+                },
+                Rect {
+                    r0: self.r0 + pos as u32,
+                    c0: self.c0,
+                    rows: self.rows - pos as u32,
+                    cols: self.cols,
+                },
+            )
+        } else {
+            (
+                Rect {
+                    r0: self.r0,
+                    c0: self.c0,
+                    rows: self.rows,
+                    cols: pos as u32,
+                },
+                Rect {
+                    r0: self.r0,
+                    c0: self.c0 + pos as u32,
+                    rows: self.rows,
+                    cols: self.cols - pos as u32,
+                },
+            )
+        };
+        a.split_into(c1, out);
+        b.split_into(c2, out);
+    }
+}
+
+/// A tessellation: a partition of a rectangle into disjoint
+/// sub-rectangles covering it exactly.
+#[derive(Debug, Clone)]
+pub struct Tessellation {
+    /// The tessellated area.
+    pub whole: Rect,
+    /// The parts, in construction order (part `j` hosts page `j`).
+    pub parts: Vec<Rect>,
+}
+
+impl Tessellation {
+    /// Splits `whole` into `count` near-equal parts.
+    pub fn new(whole: Rect, count: u64) -> Option<Self> {
+        let parts = whole.split(count)?;
+        Some(Tessellation { whole, parts })
+    }
+
+    /// Index of the part containing `c`, by linear scan (the tessellation
+    /// sizes used by the simulation are small; hot paths precompute maps).
+    pub fn part_of(&self, c: Coord) -> Option<usize> {
+        self.parts.iter().position(|r| r.contains(c))
+    }
+
+    /// Smallest and largest part areas.
+    pub fn area_bounds(&self) -> (u64, u64) {
+        let mut lo = u64::MAX;
+        let mut hi = 0;
+        for p in &self.parts {
+            lo = lo.min(p.area());
+            hi = hi.max(p.area());
+        }
+        (lo, hi)
+    }
+
+    /// Verifies the parts exactly partition `whole` (disjoint cover).
+    pub fn is_partition(&self) -> bool {
+        let total: u64 = self.parts.iter().map(|p| p.area()).sum();
+        if total != self.whole.area() {
+            return false;
+        }
+        // Disjointness + coverage via counting each node once.
+        let mut seen = vec![false; self.whole.area() as usize];
+        for p in &self.parts {
+            if !self.whole.contains_rect(p) {
+                return false;
+            }
+            for c in p.coords() {
+                let li = self.whole.local_index(c) as usize;
+                if seen[li] {
+                    return false;
+                }
+                seen[li] = true;
+            }
+        }
+        seen.into_iter().all(|b| b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_partitions_exactly() {
+        let r = Rect {
+            r0: 0,
+            c0: 0,
+            rows: 16,
+            cols: 16,
+        };
+        for count in 1..=64u64 {
+            let t = Tessellation::new(r, count).unwrap();
+            assert_eq!(t.parts.len() as u64, count);
+            assert!(t.is_partition(), "count={count} not a partition");
+        }
+    }
+
+    #[test]
+    fn split_nonsquare_and_offset() {
+        let r = Rect {
+            r0: 3,
+            c0: 5,
+            rows: 7,
+            cols: 13,
+        };
+        for count in [1u64, 2, 3, 5, 9, 13, 27, 91] {
+            let t = Tessellation::new(r, count).unwrap();
+            assert!(t.is_partition(), "count={count}");
+            let (lo, _) = t.area_bounds();
+            assert!(lo >= 1);
+        }
+    }
+
+    #[test]
+    fn split_near_equal_areas() {
+        let r = Rect {
+            r0: 0,
+            c0: 0,
+            rows: 64,
+            cols: 64,
+        };
+        for count in [2u64, 3, 4, 9, 27, 81] {
+            let t = Tessellation::new(r, count).unwrap();
+            let (lo, hi) = t.area_bounds();
+            let ideal = r.area() as f64 / count as f64;
+            // Proportional splitting keeps areas within a factor ~2 of
+            // ideal even for awkward counts; typically much tighter.
+            assert!(
+                (lo as f64) >= ideal / 2.0 && (hi as f64) <= ideal * 2.0,
+                "count={count}: areas [{lo},{hi}] vs ideal {ideal}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_rejects_overfull() {
+        let r = Rect {
+            r0: 0,
+            c0: 0,
+            rows: 2,
+            cols: 2,
+        };
+        assert!(r.split(5).is_none());
+        assert!(r.split(0).is_none());
+        assert_eq!(r.split(4).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn split_degenerate_strip() {
+        let r = Rect {
+            r0: 0,
+            c0: 0,
+            rows: 1,
+            cols: 17,
+        };
+        let t = Tessellation::new(r, 5).unwrap();
+        assert!(t.is_partition());
+    }
+
+    #[test]
+    fn local_index_roundtrip() {
+        let r = Rect {
+            r0: 2,
+            c0: 3,
+            rows: 4,
+            cols: 5,
+        };
+        for i in 0..r.area() as u32 {
+            let c = r.coord_at(i);
+            assert!(r.contains(c));
+            assert_eq!(r.local_index(c), i);
+        }
+    }
+
+    #[test]
+    fn part_of_finds_owner() {
+        let r = Rect {
+            r0: 0,
+            c0: 0,
+            rows: 8,
+            cols: 8,
+        };
+        let t = Tessellation::new(r, 7).unwrap();
+        for c in r.coords() {
+            let p = t.part_of(c).unwrap();
+            assert!(t.parts[p].contains(c));
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! The paper's analytic cost formulas, for measured-vs-predicted tables.
+
+/// Theorem 2 bound for `(l1, l2)`-routing on an `n`-node mesh:
+/// `√(l1·l2·n) + l1·√n` (the `O(·)` constant taken as 1).
+pub fn theorem2_bound(l1: u64, l2: u64, n: u64) -> f64 {
+    let nf = n as f64;
+    ((l1 * l2) as f64 * nf).sqrt() + l1 as f64 * nf.sqrt()
+}
+
+/// Section 2 bound for `(l1, l2, δ, m)`-routing:
+/// `√δ · (√(l1·n) + √(l2·m))`.
+pub fn hierarchical_bound(l1: u64, l2: u64, delta: f64, m: u64, n: u64) -> f64 {
+    delta.sqrt() * ((l1 as f64 * n as f64).sqrt() + (l2 as f64 * m as f64).sqrt())
+}
+
+/// The profitability predicate of Section 2: hierarchical routing is
+/// asymptotically better when `l1, δ ∈ o(l2)` and `√(δ·m) ∈ o(√(l1·n))`.
+/// Evaluated as a finite-size heuristic with factor-of-two slack.
+pub fn hierarchical_profitable(l1: u64, l2: u64, delta: f64, m: u64, n: u64) -> bool {
+    (l1 as f64) * 2.0 < l2 as f64
+        && delta * 2.0 < l2 as f64
+        && (delta * m as f64).sqrt() * 2.0 < (l1 as f64 * n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem2_monotone() {
+        assert!(theorem2_bound(1, 1, 1024) < theorem2_bound(2, 1, 1024));
+        assert!(theorem2_bound(1, 1, 1024) < theorem2_bound(1, 4, 1024));
+        assert!(theorem2_bound(1, 1, 256) < theorem2_bound(1, 1, 1024));
+    }
+
+    #[test]
+    fn theorem2_permutation_is_order_sqrt_n() {
+        let n = 4096u64;
+        let b = theorem2_bound(1, 1, n);
+        assert!((b - 2.0 * (n as f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hierarchical_beats_flat_in_the_stated_regime() {
+        // l1 = 1, δ = 1, l2 = 64, n = 4096, m = 64:
+        // flat:  √(64·4096) + 64 = 512 + 64
+        // hier:  1 · (√4096 + √(64·64)) = 64 + 64
+        let (l1, l2, delta, m, n) = (1u64, 64u64, 1.0f64, 64u64, 4096u64);
+        assert!(hierarchical_profitable(l1, l2, delta, m, n));
+        assert!(hierarchical_bound(l1, l2, delta, m, n) < theorem2_bound(l1, l2, n));
+    }
+
+    #[test]
+    fn hierarchical_not_profitable_when_balanced() {
+        // l2 ≈ l1: no benefit.
+        assert!(!hierarchical_profitable(4, 4, 4.0, 64, 4096));
+    }
+}

@@ -1,0 +1,259 @@
+//! Routing problem instances and deterministic generators.
+
+use prasim_mesh::region::Tessellation;
+use prasim_mesh::topology::MeshShape;
+
+/// A splitmix64 generator: tiny, deterministic, dependency-free. Used by
+/// all instance generators so benches are exactly reproducible.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// An `(l1, l2)`-routing instance: a multiset of (source, destination)
+/// node pairs on a mesh.
+#[derive(Debug, Clone)]
+pub struct RoutingInstance {
+    /// The mesh the instance lives on.
+    pub shape: MeshShape,
+    /// `(source node index, destination node index)` per packet.
+    pub pairs: Vec<(u32, u32)>,
+}
+
+impl RoutingInstance {
+    /// `l1`: the maximum number of packets sent by any node.
+    pub fn l1(&self) -> u64 {
+        let mut per = vec![0u64; self.shape.nodes() as usize];
+        for &(s, _) in &self.pairs {
+            per[s as usize] += 1;
+        }
+        per.into_iter().max().unwrap_or(0)
+    }
+
+    /// `l2`: the maximum number of packets received by any node.
+    pub fn l2(&self) -> u64 {
+        let mut per = vec![0u64; self.shape.nodes() as usize];
+        for &(_, d) in &self.pairs {
+            per[d as usize] += 1;
+        }
+        per.into_iter().max().unwrap_or(0)
+    }
+
+    /// `δ` for a tessellation into submeshes: the maximum over submeshes
+    /// of (packets received by the submesh) / (submesh size) — the
+    /// average per-processor load of the busiest submesh.
+    pub fn delta(&self, tess: &Tessellation) -> f64 {
+        let owner = node_parts(self.shape, tess);
+        let mut per = vec![0u64; tess.parts.len()];
+        for &(_, d) in &self.pairs {
+            per[owner[d as usize] as usize] += 1;
+        }
+        per.iter()
+            .zip(&tess.parts)
+            .map(|(&cnt, part)| cnt as f64 / part.area() as f64)
+            .fold(0.0, f64::max)
+    }
+
+    /// Uniform instance: every node sends exactly `l1` packets, each to
+    /// an independently random destination. Expected receive load is
+    /// `l1` per node (w.h.p. `O(l1 + log n)`).
+    pub fn random(shape: MeshShape, l1: u64, seed: u64) -> Self {
+        let n = shape.nodes();
+        let mut rng = SplitMix64(seed);
+        let mut pairs = Vec::with_capacity((n * l1) as usize);
+        for s in 0..n as u32 {
+            for _ in 0..l1 {
+                pairs.push((s, rng.below(n) as u32));
+            }
+        }
+        RoutingInstance { shape, pairs }
+    }
+
+    /// A random permutation: every node sends one packet, every node
+    /// receives one (`l1 = l2 = 1`).
+    pub fn permutation(shape: MeshShape, seed: u64) -> Self {
+        let n = shape.nodes() as u32;
+        let mut rng = SplitMix64(seed);
+        let mut dests: Vec<u32> = (0..n).collect();
+        // Fisher–Yates.
+        for i in (1..n as usize).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            dests.swap(i, j);
+        }
+        let pairs = (0..n).map(|s| (s, dests[s as usize])).collect();
+        RoutingInstance { shape, pairs }
+    }
+
+    /// A receive-skewed instance tuned for the hierarchical routing
+    /// comparison: every node sends `l1` packets; destinations
+    /// concentrate on one node *per submesh* of the given tessellation
+    /// (so `l2` is large while `δ ≈ l1` stays small).
+    pub fn skewed_per_part(shape: MeshShape, tess: &Tessellation, l1: u64, seed: u64) -> Self {
+        let n = shape.nodes();
+        let mut rng = SplitMix64(seed);
+        // One hotspot per part.
+        let hotspots: Vec<u32> = tess
+            .parts
+            .iter()
+            .map(|p| {
+                let i = rng.below(p.area()) as u32;
+                shape.index(p.coord_at(i))
+            })
+            .collect();
+        let mut pairs = Vec::with_capacity((n * l1) as usize);
+        for s in 0..n as u32 {
+            for _ in 0..l1 {
+                let part = rng.below(hotspots.len() as u64) as usize;
+                pairs.push((s, hotspots[part]));
+            }
+        }
+        RoutingInstance { shape, pairs }
+    }
+
+    /// Bit-reversal permutation (a classic hard case for greedy routing)
+    /// on a `2^j × 2^j` mesh.
+    pub fn bit_reversal(shape: MeshShape) -> Self {
+        assert_eq!(shape.rows, shape.cols, "bit reversal needs a square mesh");
+        assert!(shape.rows.is_power_of_two());
+        let bits = shape.rows.trailing_zeros() * 2;
+        let n = shape.nodes() as u32;
+        let pairs = (0..n)
+            .map(|s| {
+                let mut d = 0u32;
+                for b in 0..bits {
+                    if s & (1 << b) != 0 {
+                        d |= 1 << (bits - 1 - b);
+                    }
+                }
+                (s, d % n)
+            })
+            .collect();
+        RoutingInstance { shape, pairs }
+    }
+}
+
+/// Per-node owning part index for a tessellation (precomputed lookup).
+pub fn node_parts(shape: MeshShape, tess: &Tessellation) -> Vec<u32> {
+    let mut owner = vec![u32::MAX; shape.nodes() as usize];
+    for (pi, part) in tess.parts.iter().enumerate() {
+        for c in part.coords() {
+            owner[shape.index(c) as usize] = pi as u32;
+        }
+    }
+    debug_assert!(owner.iter().all(|&o| o != u32::MAX));
+    owner
+}
+
+/// Outcome of a routing run: measured simulated steps, decomposed.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RoutingOutcome {
+    /// Total simulated steps (sorting + routing phases, sequenced).
+    pub total_steps: u64,
+    /// Steps spent in sorting/ranking phases.
+    pub sort_steps: u64,
+    /// Steps spent moving packets (engine runs).
+    pub route_steps: u64,
+    /// Largest per-node queue observed across engine runs.
+    pub max_queue: usize,
+    /// Packets delivered.
+    pub delivered: u64,
+}
+
+impl RoutingOutcome {
+    /// Sequential composition of phases.
+    pub fn add_sort(&mut self, steps: u64) {
+        self.sort_steps += steps;
+        self.total_steps += steps;
+    }
+
+    /// Adds an engine run.
+    pub fn add_route(&mut self, stats: prasim_mesh::engine::EngineStats) {
+        self.route_steps += stats.steps;
+        self.total_steps += stats.steps;
+        self.max_queue = self.max_queue.max(stats.max_queue);
+        self.delivered += stats.delivered;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prasim_mesh::region::Rect;
+
+    #[test]
+    fn random_instance_has_exact_l1() {
+        let shape = MeshShape::square(8);
+        let inst = RoutingInstance::random(shape, 3, 42);
+        assert_eq!(inst.pairs.len(), 64 * 3);
+        assert_eq!(inst.l1(), 3);
+        assert!(inst.l2() >= 3); // maximum load ≥ average
+    }
+
+    #[test]
+    fn permutation_is_bijective() {
+        let shape = MeshShape::square(8);
+        let inst = RoutingInstance::permutation(shape, 7);
+        assert_eq!(inst.l1(), 1);
+        assert_eq!(inst.l2(), 1);
+        let mut seen = [false; 64];
+        for &(_, d) in &inst.pairs {
+            assert!(!seen[d as usize]);
+            seen[d as usize] = true;
+        }
+    }
+
+    #[test]
+    fn skewed_has_small_delta_large_l2() {
+        let shape = MeshShape::square(16);
+        let tess = Tessellation::new(Rect::full(shape), 16).unwrap();
+        let inst = RoutingInstance::skewed_per_part(shape, &tess, 2, 3);
+        let delta = inst.delta(&tess);
+        let l2 = inst.l2();
+        // Each part has ~16 nodes; one hotspot per part concentrates its
+        // packets: l2 should far exceed δ.
+        assert!(l2 as f64 > 2.0 * delta, "l2={l2} delta={delta}");
+    }
+
+    #[test]
+    fn bit_reversal_is_permutation() {
+        let shape = MeshShape::square(8);
+        let inst = RoutingInstance::bit_reversal(shape);
+        assert_eq!(inst.l1(), 1);
+        assert_eq!(inst.l2(), 1);
+    }
+
+    #[test]
+    fn node_parts_total() {
+        let shape = MeshShape::square(8);
+        let tess = Tessellation::new(Rect::full(shape), 5).unwrap();
+        let owner = node_parts(shape, &tess);
+        for (i, &o) in owner.iter().enumerate() {
+            assert!(tess.parts[o as usize].contains(shape.coord(i as u32)));
+        }
+    }
+
+    #[test]
+    fn splitmix_below_in_range() {
+        let mut rng = SplitMix64(1);
+        for bound in [1u64, 2, 7, 100] {
+            for _ in 0..100 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+}

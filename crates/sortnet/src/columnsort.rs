@@ -1,0 +1,257 @@
+//! Leighton's columnsort — the `O(l·√n)`-class sorting scheme the
+//! paper's cost accounting assumes (via \[KSS94, Kun93\]).
+//!
+//! Columnsort sorts an `r × s` matrix (column-major, `r ≥ 2(s-1)²`) in
+//! eight phases: four column-sorting phases interleaved with three fixed
+//! permutations (reshape-transpose, its inverse, and a half-column
+//! shift). Applied recursively — each matrix column living in a vertical
+//! strip of the mesh, each permutation a balanced all-to-all between
+//! strips — the total communication is `O(l·(rows + cols))` without
+//! shearsort's log factor.
+//!
+//! This module implements the *algorithm* exactly (eight phases,
+//! recursion, the `r ≥ 2(s-1)²` feasibility rule) and *charges* the
+//! permutations at their mesh cost, like the scan primitives
+//! ([`crate::rank`], [`crate::broadcast`]). The default sorter of the
+//! simulation remains the fully step-simulated shearsort; columnsort
+//! backs the analytic accounting mode and documents what a
+//! production-grade sorter buys (DESIGN.md §4).
+
+use crate::shearsort::SortCost;
+
+/// Sentinel-extended key: `NegInf < Val(x) < PosInf`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Key<T> {
+    NegInf,
+    Val(T),
+    PosInf,
+}
+
+/// Sorts `data` by recursive columnsort, charging mesh costs for a
+/// `rows × cols` submesh holding `h` keys per node
+/// (`data.len() ≤ rows·cols·h`). Returns the charged cost.
+pub fn columnsort<T: Ord + Copy>(data: &mut [T], rows: u32, cols: u32, h: usize) -> SortCost {
+    let mut keys: Vec<Key<T>> = data.iter().map(|&x| Key::Val(x)).collect();
+    // Pad to the full mesh capacity so column counts divide evenly.
+    let capacity = rows as usize * cols as usize * h;
+    debug_assert!(data.len() <= capacity, "data exceeds mesh capacity");
+    keys.resize(capacity, Key::PosInf);
+    let cost = sort_rec(&mut keys, rows, cols, h);
+    for (slot, key) in data.iter_mut().zip(keys) {
+        match key {
+            Key::Val(x) => *slot = x,
+            _ => unreachable!("padding cannot precede real keys after sorting"),
+        }
+    }
+    cost
+}
+
+/// Picks the number of columns: the largest power-of-two divisor `s` of
+/// `cols` with `s ≥ 2` and `r = len/s ≥ 2(s-1)²`.
+fn pick_s(len: usize, cols: u32) -> Option<u32> {
+    let mut best = None;
+    let mut s = 2u32;
+    while cols % s == 0 && s as usize <= len {
+        let r = len / s as usize;
+        if r >= 2 * (s as usize - 1) * (s as usize - 1) {
+            best = Some(s);
+        }
+        s *= 2;
+    }
+    best
+}
+
+fn sort_rec<T: Ord + Copy>(v: &mut [Key<T>], rows: u32, cols: u32, h: usize) -> SortCost {
+    let len = v.len();
+    let s = match pick_s(len, cols) {
+        Some(s) if len >= 8 => s,
+        // Base case: a strip too small to split — charge one odd-even
+        // line sort of the strip (len/h nodes, h keys each).
+        _ => {
+            v.sort_unstable();
+            return SortCost {
+                steps: len as u64,
+                analytic_steps: len as u64,
+                phases: 0,
+            };
+        }
+    };
+    let r = len / s as usize;
+    let strip_cols = cols / s;
+    let mut cost = SortCost::default();
+
+    // The three permutation phases each cost one balanced all-to-all
+    // between strips: h keys per node crossing at most (rows + cols)
+    // distance with full wire parallelism.
+    let perm_cost = h as u64 * (rows as u64 + cols as u64);
+
+    // Phase 1: sort columns (parallel strips — charge the max, which is
+    // equal across strips).
+    cost.add(sort_columns(v, r, s, rows, strip_cols, h));
+    // Phase 2: reshape-transpose.
+    transpose(v, r, s as usize);
+    cost.steps += perm_cost;
+    cost.analytic_steps += perm_cost;
+    // Phase 3.
+    cost.add(sort_columns(v, r, s, rows, strip_cols, h));
+    // Phase 4: inverse reshape.
+    untranspose(v, r, s as usize);
+    cost.steps += perm_cost;
+    cost.analytic_steps += perm_cost;
+    // Phase 5.
+    cost.add(sort_columns(v, r, s, rows, strip_cols, h));
+    // Phases 6–8: shift down by r/2, sort columns, unshift. The shift is
+    // realized on the padded array with ±∞ sentinels.
+    let half = r / 2;
+    let mut shifted: Vec<Key<T>> = Vec::with_capacity(len + r);
+    shifted.extend(std::iter::repeat_n(Key::NegInf, half));
+    shifted.extend_from_slice(v);
+    shifted.extend(std::iter::repeat_n(Key::PosInf, r - half));
+    cost.steps += perm_cost;
+    cost.analytic_steps += perm_cost;
+    for col in shifted.chunks_mut(r) {
+        // one extra column: charge once more below
+        col.sort_unstable();
+    }
+    cost.add(SortCost {
+        steps: r as u64,
+        analytic_steps: r as u64,
+        phases: 0,
+    });
+    v.copy_from_slice(&shifted[half..half + len]);
+
+    cost
+}
+
+/// Sorts each of the `s` columns (length `r`, stored contiguously)
+/// recursively; strips run in parallel so the cost is the maximum.
+fn sort_columns<T: Ord + Copy>(
+    v: &mut [Key<T>],
+    r: usize,
+    s: u32,
+    rows: u32,
+    strip_cols: u32,
+    h: usize,
+) -> SortCost {
+    let mut max = SortCost::default();
+    for col in v.chunks_mut(r) {
+        debug_assert_eq!(col.len(), r);
+        let c = sort_rec(col, rows, strip_cols.max(1), h);
+        if c.steps > max.steps {
+            max = c;
+        }
+    }
+    let _ = s;
+    max
+}
+
+/// Phase-2 permutation: read the `r × s` column-major matrix in
+/// column-major element order and refill it in row-major order.
+fn transpose<T: Copy>(v: &mut [Key<T>], r: usize, s: usize) {
+    let old = v.to_vec();
+    for (seq, &x) in old.iter().enumerate() {
+        // Element `seq` goes to row-major slot seq -> (i, j) with
+        // i = seq / s, j = seq % s; column-major index = j*r + i.
+        let (i, j) = (seq / s, seq % s);
+        v[j * r + i] = x;
+    }
+}
+
+/// Phase-4 permutation: the exact inverse of [`transpose`] — sequence
+/// element `t` (row-major pickup) returns to column-major slot `t`:
+/// `new[t] = old[(t mod s)·r + t div s]`.
+fn untranspose<T: Copy>(v: &mut [Key<T>], r: usize, s: usize) {
+    let old = v.to_vec();
+    for (t, slot) in v.iter_mut().enumerate() {
+        *slot = old[(t % s) * r + t / s];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(n: usize, seed: u64) -> Vec<u64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state >> 33
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sorts_exactly_across_shapes() {
+        for &(rows, cols, h) in &[
+            (4u32, 4u32, 1usize),
+            (8, 8, 1),
+            (8, 8, 4),
+            (16, 16, 2),
+            (32, 32, 1),
+            (16, 64, 3),
+        ] {
+            let n = (rows * cols) as usize * h;
+            let mut data = lcg(n, rows as u64 * 31 + h as u64);
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            let cost = columnsort(&mut data, rows, cols, h);
+            assert_eq!(data, expect, "rows={rows} cols={cols} h={h}");
+            assert!(cost.steps > 0);
+        }
+    }
+
+    #[test]
+    fn sorts_partial_fill() {
+        // Fewer keys than mesh capacity: padding must vanish cleanly.
+        let mut data = lcg(1000, 7);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        columnsort(&mut data, 16, 16, 4); // capacity 1024
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn sorts_adversarial_orders() {
+        let n = 1024usize;
+        let mut rev: Vec<u64> = (0..n as u64).rev().collect();
+        let expect: Vec<u64> = (0..n as u64).collect();
+        columnsort(&mut rev, 32, 32, 1);
+        assert_eq!(rev, expect);
+
+        let mut eq = vec![7u64; n];
+        columnsort(&mut eq, 32, 32, 1);
+        assert_eq!(eq, vec![7u64; n]);
+    }
+
+    #[test]
+    fn cost_beats_shearsort_asymptotically() {
+        // The charged cost must scale ~√n while shearsort carries its
+        // log factor: the ratio columnsort/shearsort shrinks with n.
+        use crate::shearsort::shearsort;
+        let mut ratios = Vec::new();
+        for side in [16u32, 32, 64, 128] {
+            let n = (side * side) as usize;
+            let mut a = lcg(n, 3);
+            let cc = columnsort(&mut a, side, side, 1);
+            let mut items: Vec<Vec<u64>> = lcg(n, 3).into_iter().map(|x| vec![x]).collect();
+            let sc = shearsort(&mut items, side, side, 1);
+            ratios.push(cc.steps as f64 / sc.steps as f64);
+        }
+        assert!(
+            ratios.last().unwrap() < ratios.first().unwrap(),
+            "ratios should shrink: {ratios:?}"
+        );
+    }
+
+    #[test]
+    fn feasibility_rule() {
+        // s is a power-of-two divisor of cols with r ≥ 2(s-1)².
+        assert_eq!(pick_s(1024, 32), Some(8)); // r=128 ≥ 2·49=98
+        assert_eq!(pick_s(64, 8), Some(2)); // s=4 needs r=16 ≥ 18: no
+        assert_eq!(pick_s(16, 4), Some(2));
+        assert_eq!(pick_s(4, 1), None);
+    }
+}

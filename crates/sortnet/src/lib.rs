@@ -1,0 +1,45 @@
+//! Deterministic sorting and ranking on the mesh.
+//!
+//! The PRAM simulation repeatedly needs to *sort* packets by destination
+//! and *rank* packets within groups, inside submeshes of various sizes
+//! (the access protocol's stages, the CULLING procedure, and the
+//! `(l1,l2)`-routing all start with a sort). The paper charges
+//! `O(l·√n)` for these, citing Kunde-style algorithms; we implement
+//! merge-split **shearsort** (odd-even transposition over rows and
+//! columns of the snake order), which is `O(l·√n·log n)` — see DESIGN.md
+//! §4 for why this substitution preserves the paper's claims — plus exact
+//! step-cost accounting and an analytic mode charging the paper's bound.
+//!
+//! - [`snake`]: snake-order indexing of a rectangular region.
+//! - [`mod@shearsort`]: merge-split shearsort of `l` keys per node.
+//! - [`mod@columnsort`]: Leighton's columnsort (the log-factor-free
+//!   class the paper's accounting assumes).
+//! - [`rank`]: segmented ranking / prefix operations over sorted keys.
+//! - [`broadcast`]: segmented broadcast (prefix copy) for request
+//!   combining.
+
+//!
+//! # Example
+//!
+//! ```
+//! use prasim_sortnet::shearsort::shearsort;
+//!
+//! // 2 keys per node on a 4×4 grid, snake-position indexed.
+//! let mut items: Vec<Vec<u64>> = (0..16).map(|i| vec![31 - i, i]).collect();
+//! let cost = shearsort(&mut items, 4, 4, 2);
+//! let flat: Vec<u64> = items.iter().flatten().copied().collect();
+//! assert!(flat.windows(2).all(|w| w[0] <= w[1]));
+//! assert!(cost.steps > 0);
+//! ```
+
+pub mod broadcast;
+pub mod columnsort;
+pub mod rank;
+pub mod shearsort;
+pub mod snake;
+
+pub use broadcast::segmented_broadcast;
+pub use columnsort::columnsort;
+pub use rank::rank_sorted;
+pub use shearsort::{shearsort, SortCost};
+pub use snake::snake_index;

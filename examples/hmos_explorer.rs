@@ -1,0 +1,107 @@
+//! Regenerates Figure 1 as structure: dumps the HMOS level graph, the
+//! tessellations, and one variable's copy tree with physical addresses;
+//! optionally emits the level-1 replication BIBD as Graphviz DOT.
+//!
+//! ```sh
+//! cargo run --release --example hmos_explorer          # structure dump
+//! cargo run --release --example hmos_explorer -- dot   # DOT of a small BIBD
+//! ```
+
+use prasim::bibd::Bibd;
+use prasim::hmos::{Hmos, HmosParams};
+
+fn main() {
+    if std::env::args().nth(1).as_deref() == Some("dot") {
+        emit_dot();
+        return;
+    }
+
+    let params = HmosParams::with_d(3, 2, 1024, 5).expect("valid parameters");
+    println!("HMOS structure (Figure 1), q = 3, k = 2, n = 1024, d = 5\n");
+    println!(
+        "level 0: {} variables (α = {:.3}), replicated ×{}",
+        params.num_variables,
+        params.alpha(),
+        params.redundancy()
+    );
+    for i in 1..=params.k {
+        println!(
+            "level {i}: {} modules (d_{i} = {}), {} pages",
+            params.modules_at(i),
+            params.d[i as usize - 1],
+            params.pages_at(i),
+        );
+    }
+    let c = params.eq1_constants();
+    println!("\nEq. (1) constants c (paper: c ∈ [q/2, q³] = [1.5, 27]):");
+    for (i, ci) in c.iter().enumerate() {
+        println!("  level {}: c = {ci:.2}", i + 1);
+    }
+
+    let hmos = Hmos::new(params).expect("valid scheme");
+    println!("\ntessellations (Eq. 4):");
+    for i in (1..=hmos.params().k).rev() {
+        let (lo, hi) = hmos.level_extents(i);
+        println!(
+            "  level {i}: {} submeshes of {}–{} nodes",
+            hmos.pages(i).len(),
+            lo,
+            hi
+        );
+    }
+
+    // One variable's copy tree, fully resolved.
+    let v = 4242u64.min(hmos.num_variables() - 1);
+    println!("\ncopy tree of variable {v} (leaf = ⟨l2, l1⟩ @ node/slot):");
+    for addr in hmos.copies_of(v) {
+        let rc = hmos.resolve(&addr);
+        println!(
+            "  leaf {:>2}: ⟨{:>3}, {:>3}⟩ @ ({:>2},{:>2}) slot {}",
+            addr.leaf_index(3),
+            rc.modules[1],
+            rc.modules[0],
+            rc.node.r,
+            rc.node.c,
+            rc.slot
+        );
+    }
+
+    // ASCII map of the level-2 tessellation (which submesh owns each
+    // 2×2 block of the 32×32 mesh).
+    println!("\nlevel-2 tessellation map (one char per 2×2 block):");
+    let shape = hmos.shape();
+    const GLYPHS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ*";
+    for r in (0..shape.rows).step_by(2) {
+        let mut line = String::new();
+        for c in (0..shape.cols).step_by(2) {
+            let coord = prasim::mesh::topology::Coord { r, c };
+            let owner = hmos
+                .pages(2)
+                .iter()
+                .position(|p| p.rect.contains(coord))
+                .unwrap();
+            line.push(GLYPHS[owner % GLYPHS.len()] as char);
+        }
+        println!("  {line}");
+    }
+}
+
+fn emit_dot() {
+    // The (9, 3)-BIBD: 9 outputs (points of F_3²), 12 inputs (lines).
+    let bibd = Bibd::new(3, 2).expect("valid design");
+    println!("// (q^d, q)-BIBD with q = 3, d = 2: the building block of the HMOS");
+    println!("graph bibd {{");
+    println!("  rankdir=LR;");
+    for v in 0..bibd.num_inputs() {
+        println!("  w{v} [shape=box, label=\"line {v}\"];");
+    }
+    for u in 0..bibd.num_outputs() {
+        println!("  u{u} [shape=circle, label=\"pt {u}\"];");
+    }
+    for v in 0..bibd.num_inputs() {
+        for u in bibd.neighbors(v) {
+            println!("  w{v} -- u{u};");
+        }
+    }
+    println!("}}");
+}

@@ -1,0 +1,106 @@
+//! A real PRAM algorithm on the simulated machine: parallel prefix sums
+//! (Hillis–Steele) over a shared array, `log₂ m` PRAM rounds of
+//! read-then-write.
+//!
+//! Demonstrates that the simulator behaves as an ideal EREW shared
+//! memory across multi-step programs, and reports the aggregate
+//! slowdown.
+//!
+//! ```sh
+//! cargo run --release --example prefix_sum
+//! ```
+
+use prasim::core::{Op, PramMeshSim, PramStep, SimConfig};
+
+fn main() {
+    let m: u64 = 512; // array length (power of two)
+    let mut sim = PramMeshSim::new(SimConfig::new(1024, 9000)).expect("valid configuration");
+    println!(
+        "prefix sums of {m} elements on a {}-processor simulated PRAM",
+        sim.config().n
+    );
+
+    // Initialize a[i] = i + 1 (shared variables 0..m).
+    let vars: Vec<u64> = (0..m).collect();
+    let init: Vec<u64> = (1..=m).collect();
+    let mut total_steps = sim.step(&PramStep::writes(&vars, &init)).unwrap().total_steps;
+
+    // Hillis–Steele: for each stride 2^j, a[i] += a[i - 2^j].
+    let mut pram_rounds = 1u64; // the init step
+    let mut stride = 1u64;
+    while stride < m {
+        // Read round: processor i (for i >= stride) reads a[i - stride].
+        let read_step = PramStep {
+            ops: (0..m)
+                .map(|i| {
+                    if i >= stride {
+                        Some(Op::Read { var: i - stride })
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+        };
+        let r = sim.step(&read_step).unwrap();
+        total_steps += r.total_steps;
+
+        // Read own value too (EREW: separate round).
+        let own_step = PramStep {
+            ops: (0..m)
+                .map(|i| {
+                    if i >= stride {
+                        Some(Op::Read { var: i })
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+        };
+        let own = sim.step(&own_step).unwrap();
+        total_steps += own.total_steps;
+
+        // Write round: a[i] = old a[i] + old a[i - stride].
+        let write_step = PramStep {
+            ops: (0..m)
+                .map(|i| {
+                    if i >= stride {
+                        let sum = r.reads[i as usize].unwrap() + own.reads[i as usize].unwrap();
+                        Some(Op::Write { var: i, value: sum })
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+        };
+        total_steps += sim.step(&write_step).unwrap().total_steps;
+
+        pram_rounds += 3;
+        stride *= 2;
+    }
+
+    // Read back and verify against the closed form i(i+1)/2.
+    let r = sim.step(&PramStep::reads(&vars)).unwrap();
+    total_steps += r.total_steps;
+    pram_rounds += 1;
+    let mut ok = true;
+    for i in 0..m {
+        let expect = (i + 1) * (i + 2) / 2;
+        if r.reads[i as usize] != Some(expect) {
+            eprintln!(
+                "MISMATCH at {i}: got {:?}, want {expect}",
+                r.reads[i as usize]
+            );
+            ok = false;
+        }
+    }
+    println!("prefix sums correct: {ok}");
+    assert!(ok);
+
+    let n = sim.config().n as f64;
+    println!(
+        "{pram_rounds} PRAM rounds took {total_steps} simulated mesh steps \
+         ({:.0} per round; √n = {:.0})",
+        total_steps as f64 / pram_rounds as f64,
+        n.sqrt()
+    );
+}

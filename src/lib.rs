@@ -1,0 +1,23 @@
+//! `prasim` — Constructive Deterministic PRAM Simulation on a
+//! Mesh-Connected Computer.
+//!
+//! Facade crate re-exporting the full public API. See the individual
+//! crates for details:
+//!
+//! - [`gf`]: finite fields `GF(q)` for prime powers `q`.
+//! - [`bibd`]: the explicit `(q^d, q)`-BIBD and its balanced subgraphs.
+//! - [`mesh`]: the mesh-connected computer (topology, packet engine,
+//!   tessellations).
+//! - [`sortnet`]: deterministic mesh sorting and ranking.
+//! - [`routing`]: `(l1,l2)`- and `(l1,l2,δ,m)`-routing.
+//! - [`hmos`]: the Hierarchical Memory Organization Scheme.
+//! - [`core`]: the PRAM step simulation (CULLING + access protocol) and
+//!   baseline schemes.
+
+pub use prasim_bibd as bibd;
+pub use prasim_core as core;
+pub use prasim_gf as gf;
+pub use prasim_hmos as hmos;
+pub use prasim_mesh as mesh;
+pub use prasim_routing as routing;
+pub use prasim_sortnet as sortnet;

@@ -1,0 +1,104 @@
+//! The golden consistency property: the simulated machine is
+//! indistinguishable from an ideal shared memory.
+//!
+//! Random multi-step programs (mixed reads/writes, random variables,
+//! random idle patterns) run against both the PRAM-on-mesh simulator and
+//! a trivial `HashMap` reference; every read must agree.
+
+use prasim::core::{Op, PramMeshSim, PramStep, SimConfig};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Clone)]
+struct ProgramSpec {
+    steps: Vec<Vec<(u64, Option<u64>)>>, // per step: (var, Some(value)=write / None=read)
+}
+
+fn program(num_vars: u64, max_steps: usize, max_ops: usize) -> impl Strategy<Value = ProgramSpec> {
+    let step = prop::collection::vec(
+        (0..num_vars, prop::option::of(0u64..1_000_000)),
+        1..=max_ops,
+    );
+    prop::collection::vec(step, 1..=max_steps).prop_map(|steps| ProgramSpec { steps })
+}
+
+fn dedup_step(ops: &[(u64, Option<u64>)]) -> Vec<(u64, Option<u64>)> {
+    let mut seen = HashSet::new();
+    ops.iter()
+        .filter(|(v, _)| seen.insert(*v))
+        .copied()
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// 256-processor machine, programs of up to 6 steps × 64 ops.
+    #[test]
+    fn machine_equals_ideal_memory(spec in program(117, 6, 64)) {
+        let mut sim = PramMeshSim::new(SimConfig::new(256, 100)).unwrap();
+        let mut ideal: HashMap<u64, u64> = HashMap::new();
+        for raw in &spec.steps {
+            let ops = dedup_step(raw);
+            // Scatter ops over processors deterministically.
+            let mut step = PramStep {
+                ops: vec![None; 256],
+            };
+            for (i, &(var, write)) in ops.iter().enumerate() {
+                let p = (i * 37 + 11) % 256;
+                step.ops[p] = Some(match write {
+                    Some(value) => Op::Write { var, value },
+                    None => Op::Read { var },
+                });
+            }
+            let report = sim.step(&step).unwrap();
+            prop_assert!(report.culling.theorem3_holds());
+            // Check reads against the ideal memory *before* applying this
+            // step's writes (EREW: within a step reads don't see them).
+            for (p, op) in step.ops.iter().enumerate() {
+                if let Some(Op::Read { var }) = op {
+                    let expect = ideal.get(var).copied().unwrap_or(0);
+                    prop_assert_eq!(report.reads[p], Some(expect), "var {}", var);
+                }
+            }
+            for op in step.ops.iter().flatten() {
+                if let Op::Write { var, value } = op {
+                    ideal.insert(*var, *value);
+                }
+            }
+        }
+    }
+
+    /// Same property with k = 1 (single-level HMOS) — exercises the
+    /// degenerate hierarchy.
+    #[test]
+    fn machine_equals_ideal_memory_k1(spec in program(117, 4, 48)) {
+        let mut sim = PramMeshSim::new(SimConfig::new(256, 100).with_k(1)).unwrap();
+        let mut ideal: HashMap<u64, u64> = HashMap::new();
+        for raw in &spec.steps {
+            let ops = dedup_step(raw);
+            let mut step = PramStep {
+                ops: vec![None; 256],
+            };
+            for (i, &(var, write)) in ops.iter().enumerate() {
+                let p = (i * 53 + 5) % 256;
+                step.ops[p] = Some(match write {
+                    Some(value) => Op::Write { var, value },
+                    None => Op::Read { var },
+                });
+            }
+            let report = sim.step(&step).unwrap();
+            for (p, op) in step.ops.iter().enumerate() {
+                if let Some(Op::Read { var }) = op {
+                    let expect = ideal.get(var).copied().unwrap_or(0);
+                    prop_assert_eq!(report.reads[p], Some(expect));
+                }
+            }
+            for op in step.ops.iter().flatten() {
+                if let Op::Write { var, value } = op {
+                    ideal.insert(*var, *value);
+                }
+            }
+        }
+    }
+}
