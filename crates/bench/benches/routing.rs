@@ -64,5 +64,10 @@ fn bench_hierarchical(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_flat_routing, bench_greedy_vs_flat, bench_hierarchical);
+criterion_group!(
+    benches,
+    bench_flat_routing,
+    bench_greedy_vs_flat,
+    bench_hierarchical
+);
 criterion_main!(benches);

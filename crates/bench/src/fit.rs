@@ -40,10 +40,12 @@ mod tests {
 
     #[test]
     fn recovers_exact_power_law() {
-        let pts: Vec<(f64, f64)> = (1..=6).map(|i| {
-            let x = (1 << i) as f64;
-            (x, 3.0 * x.powf(0.75))
-        }).collect();
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|i| {
+                let x = (1 << i) as f64;
+                (x, 3.0 * x.powf(0.75))
+            })
+            .collect();
         let (e, c) = power_fit(&pts);
         assert!((e - 0.75).abs() < 1e-9, "e = {e}");
         assert!((c - 3.0).abs() < 1e-9, "c = {c}");
@@ -52,7 +54,12 @@ mod tests {
 
     #[test]
     fn noisy_fit_reasonable() {
-        let pts = vec![(100.0, 51.0), (400.0, 98.0), (1600.0, 204.0), (6400.0, 395.0)];
+        let pts = vec![
+            (100.0, 51.0),
+            (400.0, 98.0),
+            (1600.0, 204.0),
+            (6400.0, 395.0),
+        ];
         let (e, _) = power_fit(&pts);
         assert!((e - 0.5).abs() < 0.05, "e = {e}");
     }

@@ -4,8 +4,8 @@
 use crate::fit::{power_fit, r_squared};
 use prasim_bibd::{input_count, verify, Bibd, BibdSubgraph};
 use prasim_core::baseline::{BaselineScheme, FlatHmosSim, MehlhornVishkinSim, SingleCopySim};
-use prasim_core::{workload, PramMeshSim, PramStep, SimConfig};
 use prasim_core::sim::{eq8_bound, theorem1_exponent};
+use prasim_core::{workload, PramMeshSim, PramStep, SimConfig};
 use prasim_hmos::{Hmos, HmosParams};
 use prasim_mesh::region::{Rect, Tessellation};
 use prasim_mesh::topology::MeshShape;
@@ -124,10 +124,18 @@ pub fn t1_slowdown(sizes: &[(u64, u32)], k: u32, analytic: bool) -> Table {
                 " (measured shearsort)"
             }
         ),
-        header: ["n", "d", "α", "T random", "T adversarial", "√n", "Eq.(8) bound"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        header: [
+            "n",
+            "d",
+            "α",
+            "T random",
+            "T adversarial",
+            "√n",
+            "Eq.(8) bound",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
         rows,
         notes,
     }
@@ -168,10 +176,19 @@ pub fn t2_routing(ns: &[u64], l1s: &[u64]) -> Table {
     Table {
         id: "T2",
         title: "Theorem 2 — (l1,l2)-routing vs √(l1·l2·n) + l1·√n".into(),
-        header: ["n", "l1", "l2", "sort", "route", "total", "bound", "total/bound"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        header: [
+            "n",
+            "l1",
+            "l2",
+            "sort",
+            "route",
+            "total",
+            "bound",
+            "total/bound",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
         rows,
         notes,
     }
@@ -207,12 +224,17 @@ pub fn t3_hierarchical(ns: &[u64], l1: u64) -> Table {
     }
     Table {
         id: "T3",
-        title: format!(
-            "Section 2 — hierarchical vs flat routing on skewed instances (l1 = {l1})"
-        ),
+        title: format!("Section 2 — hierarchical vs flat routing on skewed instances (l1 = {l1})"),
         header: [
-            "n", "submeshes", "l2", "δ", "greedy", "flat", "hier",
-            "bound ratio (hier/flat)", "measured ratio",
+            "n",
+            "submeshes",
+            "l2",
+            "δ",
+            "greedy",
+            "flat",
+            "hier",
+            "bound ratio (hier/flat)",
+            "measured ratio",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -238,8 +260,14 @@ pub fn t4_culling_bounds(n: u64, d: u32, k: u32) -> Table {
             "random",
             workload::random_distinct(active, hmos.num_variables(), 3),
         ),
-        ("adversarial", workload::multi_module_adversary(&hmos, active, 0)),
-        ("strided", workload::strided(active, hmos.num_variables(), 81)),
+        (
+            "adversarial",
+            workload::multi_module_adversary(&hmos, active, 0),
+        ),
+        (
+            "strided",
+            workload::strided(active, hmos.num_variables(), 81),
+        ),
     ];
     for (name, vars) in workloads {
         let reqs: Vec<Option<u64>> = vars.into_iter().map(Some).collect();
@@ -258,14 +286,23 @@ pub fn t4_culling_bounds(n: u64, d: u32, k: u32) -> Table {
     Table {
         id: "T4",
         title: format!("Theorem 3 — culling page-load bounds (n = {n}, d = {d}, k = {k})"),
-        header: ["workload", "level i", "max page load", "bound 4·q^k·n^(1-1/2^i)", "ratio", "fallbacks"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        header: [
+            "workload",
+            "level i",
+            "max page load",
+            "bound 4·q^k·n^(1-1/2^i)",
+            "ratio",
+            "fallbacks",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
         rows,
-        notes: vec!["every ratio must be ≤ 1 (the bound is loose at laptop scale — the \
+        notes: vec![
+            "every ratio must be ≤ 1 (the bound is loose at laptop scale — the \
                      mechanism matters at the crossover where pages saturate)"
-            .into()],
+                .into(),
+        ],
     }
 }
 
@@ -300,7 +337,10 @@ pub fn t5_culling_time(sizes: &[(u64, u32)], k: u32) -> Table {
     Table {
         id: "T5",
         title: format!("Eq. (2) — culling time scaling, k = {k}"),
-        header: ["n", "d", "T_culling", "T/√n"].iter().map(|s| s.to_string()).collect(),
+        header: ["n", "d", "T_culling", "T/√n"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         rows,
         notes,
     }
@@ -311,7 +351,16 @@ pub fn t5_culling_time(sizes: &[(u64, u32)], k: u32) -> Table {
 pub fn t6_bibd_balance() -> Table {
     let mut rows = Vec::new();
     let mut all_ok = true;
-    for &(q, d) in &[(3u64, 2u32), (3, 3), (3, 4), (4, 2), (5, 2), (7, 2), (8, 2), (9, 2)] {
+    for &(q, d) in &[
+        (3u64, 2u32),
+        (3, 3),
+        (3, 4),
+        (4, 2),
+        (5, 2),
+        (7, 2),
+        (8, 2),
+        (9, 2),
+    ] {
         let full = input_count(q, d).unwrap();
         for frac in [1u64, 10, 25, 50, 75, 99, 100] {
             let m = (full * frac / 100).max(1);
@@ -357,7 +406,9 @@ pub fn t7_strong_expansion(trials: u64) -> Table {
             let seed = rng.next_u64();
             let (got, want) = verify::strong_expansion(&bibd, u, &s, k, |w| {
                 let r = w.wrapping_mul(0x9E3779B97F4A7C15) ^ seed;
-                (0..q as usize).map(|i| ((r >> (i * 5)) as usize) % q as usize).collect()
+                (0..q as usize)
+                    .map(|i| ((r >> (i * 5)) as usize) % q as usize)
+                    .collect()
             });
             if got == want {
                 exact += 1;
@@ -374,7 +425,10 @@ pub fn t7_strong_expansion(trials: u64) -> Table {
     Table {
         id: "T7",
         title: "Lemma 1 — strong expansion |Γ_k(S)| = (k-1)|S| + 1".into(),
-        header: ["q", "d", "trials", "exact", "status"].iter().map(|s| s.to_string()).collect(),
+        header: ["q", "d", "trials", "exact", "status"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         rows,
         notes: vec![],
     }
@@ -392,8 +446,7 @@ pub fn t8_structure(configs: &[(u64, u32, u32)]) -> Table {
             // Eq. (4) with its constant made explicit:
             // t_i = Θ(n/(q^{k-i}·m_i)); the pure-power form
             // q^{-(k-i)}·n^{1-α/2^i} differs by the Eq. (1) constant c.
-            let t_pred =
-                n as f64 / (3f64.powi((k - i) as i32) * params.m[i as usize - 1] as f64);
+            let t_pred = n as f64 / (3f64.powi((k - i) as i32) * params.m[i as usize - 1] as f64);
             rows.push(vec![
                 format!("n={n}, d={d}, k={k}"),
                 i.to_string(),
@@ -408,10 +461,18 @@ pub fn t8_structure(configs: &[(u64, u32, u32)]) -> Table {
     Table {
         id: "T8",
         title: "Figure 1 / Eqs. (1),(3),(4) — HMOS structure".into(),
-        header: ["config", "level i", "|U_i|", "Eq.(1) c", "pages", "t_i realized", "t_i Eq.(4)"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        header: [
+            "config",
+            "level i",
+            "|U_i|",
+            "Eq.(1) c",
+            "pages",
+            "t_i realized",
+            "t_i Eq.(4)",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
         rows,
         notes: vec!["Eq. (1) requires c ∈ [q/2, q³] = [1.5, 27]".into()],
     }
@@ -436,8 +497,8 @@ pub fn t9_redundancy(n: u64, d: u32, ks: &[u32]) -> Table {
             }
         };
         let alpha = params.alpha();
-        let mut sim = PramMeshSim::new(SimConfig::new(n, params.num_variables).with_k(k))
-            .expect("valid sim");
+        let mut sim =
+            PramMeshSim::new(SimConfig::new(n, params.num_variables).with_k(k)).expect("valid sim");
         let active = n.min(sim.num_variables());
         let vars = workload::multi_module_adversary(sim.hmos(), active, 0);
         let t = sim.step(&PramStep::reads(&vars)).unwrap().total_steps;
@@ -488,7 +549,10 @@ pub fn t10_baselines(n: u64) -> Table {
             .step(&PramStep::reads(&single_uniform))
             .unwrap()
             .total_steps;
-        let a = single.step(&PramStep::reads(&single_adv)).unwrap().total_steps;
+        let a = single
+            .step(&PramStep::reads(&single_adv))
+            .unwrap()
+            .total_steps;
         rows.push(vec![
             "single-copy".into(),
             "1".into(),
@@ -544,10 +608,16 @@ pub fn t10_baselines(n: u64) -> Table {
     Table {
         id: "T10",
         title: format!("Section 1 — worst-case comparison of schemes (n = {n})"),
-        header: ["scheme", "redundancy", "uniform reads", "adversarial reads", "degradation"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        header: [
+            "scheme",
+            "redundancy",
+            "uniform reads",
+            "adversarial reads",
+            "degradation",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
         rows,
         notes: vec![
             "each scheme faces its own worst adversary (same-home variables for single-copy, \
@@ -619,21 +689,153 @@ pub fn t11_consistency(programs: u64) -> Table {
             programs.to_string(),
             total_reads.to_string(),
             agree.to_string(),
-            if agree == total_reads { "ok" } else { "VIOLATED" }.to_string(),
+            if agree == total_reads {
+                "ok"
+            } else {
+                "VIOLATED"
+            }
+            .to_string(),
         ]],
         notes: vec![],
     }
 }
 
-/// **T12 (Eqs. 5, 6).** Per-stage packet loads δ_i of the access
+/// **T12 (fault sweep).** Graceful degradation of the simulation under
+/// a seeded [`FaultPlan`]: with hierarchical-majority reads
+/// (Definition 2) and fewer than `⌈q/2⌉^k` faulty copies per variable,
+/// every read recovers the last written value; past the bound failures
+/// are *detected* (unrecoverable), never silent. The freshest-timestamp
+/// rule, by contrast, is silently fooled by forged timestamps — the
+/// trace checker's `silent-wrong` column is the proof either way.
+pub fn t12_fault_sweep(n: u64, d: u32, seed: u64) -> Table {
+    use prasim_core::ReadPolicy;
+    use prasim_fault::{CopyFaultKind, FaultPlan};
+    use prasim_hmos::TargetSpec;
+
+    let params = HmosParams::with_d(3, 2, n, d).expect("valid T12 configuration");
+    let spec = TargetSpec { q: 3, k: 2 };
+    let tol = spec.fault_tolerance(); // ⌈q/2⌉^k = 4 of the q^k = 9 copies
+    let qk = params.redundancy();
+    let nvars = 200u64.min(params.num_variables).min(n);
+
+    let quorum = ReadPolicy::HierarchicalMajority;
+    // (label, policy, corrupt copies per variable, dead nodes,
+    //  severed links, lossy links)
+    let cases: [(&str, ReadPolicy, u64, u64, u64, u64); 9] = [
+        ("fault-free, freshest", ReadPolicy::Freshest, 0, 0, 0, 0),
+        ("fault-free, quorum", quorum, 0, 0, 0, 0),
+        (
+            "corrupt ⌈q/2⌉^k−1 copies/var, quorum",
+            quorum,
+            tol - 1,
+            0,
+            0,
+            0,
+        ),
+        ("corrupt ⌈q/2⌉^k copies/var, quorum", quorum, tol, 0, 0, 0),
+        ("corrupt q^k−3 copies/var, quorum", quorum, qk - 3, 0, 0, 0),
+        ("16 dead nodes, quorum", quorum, 0, 16, 0, 0),
+        ("24 severed links, quorum", quorum, 0, 0, 24, 0),
+        ("32 lossy links (25%), quorum", quorum, 0, 0, 0, 32),
+        (
+            "corrupt q^k−3 copies/var, freshest",
+            ReadPolicy::Freshest,
+            qk - 3,
+            0,
+            0,
+            0,
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut baseline = 0.0f64;
+    for (label, policy, per_var, dead, severed, lossy) in cases {
+        let mut sim =
+            PramMeshSim::new(SimConfig::new(n, params.num_variables).with_read_policy(policy))
+                .expect("valid sim");
+        let shape = sim.hmos().shape();
+        let mut plan = FaultPlan::new(seed);
+        if dead > 0 {
+            plan.random_dead_nodes(shape, dead, 0);
+        }
+        if severed > 0 {
+            plan.random_severed_links(shape, severed, 0);
+        }
+        if lossy > 0 {
+            plan.random_lossy_links(shape, lossy, 250, 0);
+        }
+        let vars = workload::random_distinct(nvars, sim.num_variables(), seed ^ 0x7A51);
+        if per_var > 0 {
+            for &v in &vars {
+                plan.fault_variable_copies(sim.hmos(), v, per_var, CopyFaultKind::Corrupt, 0);
+            }
+        }
+        let faults = plan.describe();
+        if !plan.is_empty() {
+            sim.set_fault_plan(plan);
+        }
+        let values: Vec<u64> = vars.iter().map(|v| v.wrapping_mul(31) + 5).collect();
+        sim.step(&PramStep::writes(&vars, &values))
+            .expect("write step");
+        let rep = sim.step(&PramStep::reads(&vars)).expect("read step");
+        let t = sim.trace_report();
+        if baseline == 0.0 {
+            baseline = rep.protocol.total_steps as f64;
+        }
+        rows.push(vec![
+            label.to_string(),
+            faults,
+            t.reads.to_string(),
+            (t.correct_reads + t.tainted_reads).to_string(),
+            t.unrecoverable_reads.to_string(),
+            t.silent_wrong_reads.to_string(),
+            format!("{:.2}x", rep.protocol.total_steps as f64 / baseline),
+        ]);
+    }
+    Table {
+        id: "T12",
+        title: format!(
+            "fault sweep — graceful degradation of quorum reads (n = {n}, d = {d}, seed = {seed})"
+        ),
+        header: [
+            "scenario",
+            "plan",
+            "reads",
+            "recovered",
+            "detected",
+            "silent-wrong",
+            "route slowdown",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows,
+        notes: vec![
+            "recovered = reads returning the last written value (clean or flagged); detected = \
+             reads the machine itself reported unrecoverable; route slowdown compares access-\
+             protocol steps only (quorum reads skip CULLING — with all q^k copies accessed \
+             there is nothing to select)"
+                .into(),
+            "silent-wrong must be 0 for every quorum row — below the ⌈q/2⌉^k tolerance the \
+             majority masks all faults, above it the distinct garbage cannot collude into a \
+             forged target set, so failures surface as detections"
+                .into(),
+            "the final row shows why the quorum exists: the freshest-timestamp rule accepts \
+             forged timestamps and goes silently wrong"
+                .into(),
+        ],
+    }
+}
+
+/// **T15 (Eqs. 5, 6).** Per-stage packet loads δ_i of the access
 /// protocol against the paper's bounds: `δ_i ≤ 4·q^k·n^{1-1/2^i}/t_i`
 /// (Eq. 5) and `δ_0 ∈ O(q^k·min(√n, n^{α-1}))` (Eq. 6).
-pub fn t12_stage_deltas(n: u64, d: u32, k: u32) -> Table {
-    let params = HmosParams::with_d(3, k, n, d).expect("valid T12 configuration");
+pub fn t15_stage_deltas(n: u64, d: u32, k: u32) -> Table {
+    let params = HmosParams::with_d(3, k, n, d).expect("valid T15 configuration");
     let alpha = params.alpha();
     let qk = params.redundancy() as f64;
-    let mut sim = PramMeshSim::new(SimConfig::new(n, params.num_variables).with_k(k))
-        .expect("valid sim");
+    let mut sim =
+        PramMeshSim::new(SimConfig::new(n, params.num_variables).with_k(k)).expect("valid sim");
     let hmos_extents: Vec<(u64, u64)> = (1..=k).map(|i| sim.hmos().level_extents(i)).collect();
     let active = n.min(sim.num_variables());
     let mut rows = Vec::new();
@@ -673,16 +875,18 @@ pub fn t12_stage_deltas(n: u64, d: u32, k: u32) -> Table {
         }
     }
     Table {
-        id: "T12",
+        id: "T15",
         title: format!("Eqs. (5)/(6) — per-stage node loads (n = {n}, d = {d}, k = {k})"),
         header: ["workload", "stage", "load", "measured", "bound", "ratio"]
             .iter()
             .map(|s| s.to_string())
             .collect(),
         rows,
-        notes: vec!["ratios ≤ 1 confirm the culling-driven congestion caps the stage analysis \
+        notes: vec![
+            "ratios ≤ 1 confirm the culling-driven congestion caps the stage analysis \
                      relies on"
-            .into()],
+                .into(),
+        ],
     }
 }
 
@@ -690,8 +894,7 @@ pub fn t12_stage_deltas(n: u64, d: u32, k: u32) -> Table {
 /// forces the `S_v` fallback branch and shows how the selection quality
 /// degrades gracefully: page loads stay bounded, fallbacks grow.
 pub fn t13_slack_ablation(n: u64, d: u32) -> Table {
-    let hmos = Hmos::new(HmosParams::with_d(3, 2, n, d).expect("valid T13 configuration"))
-        .unwrap();
+    let hmos = Hmos::new(HmosParams::with_d(3, 2, n, d).expect("valid T13 configuration")).unwrap();
     let active = n.min(hmos.num_variables());
     let vars = workload::multi_module_adversary(&hmos, active, 0);
     let reqs: Vec<Option<u64>> = vars.into_iter().map(Some).collect();
@@ -706,10 +909,7 @@ pub fn t13_slack_ablation(n: u64, d: u32) -> Table {
             .map(|i| i.max_page_load)
             .max()
             .unwrap_or(0);
-        let sizes_ok = out
-            .selected
-            .iter()
-            .all(|s| s.len() == 4); // minimal target set for q=3, k=2
+        let sizes_ok = out.selected.iter().all(|s| s.len() == 4); // minimal target set for q=3, k=2
         rows.push(vec![
             format!("{slack}"),
             out.report.iterations[0].mark_bound.to_string(),
@@ -722,10 +922,17 @@ pub fn t13_slack_ablation(n: u64, d: u32) -> Table {
     Table {
         id: "T13",
         title: format!("Ablation — culling marking-bound slack (n = {n}, d = {d}, adversarial)"),
-        header: ["slack", "mark bound (lvl 1)", "fallbacks", "max page load", "T_culling", "selections"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        header: [
+            "slack",
+            "mark bound (lvl 1)",
+            "fallbacks",
+            "max page load",
+            "T_culling",
+            "selections",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
         rows,
         notes: vec![
             "selections must remain minimal target sets at every slack — correctness never \
@@ -750,14 +957,18 @@ pub fn t14_q_sweep(n: u64) -> Table {
         let params = match HmosParams::with_d(q, 2, n, d) {
             Ok(p) => p,
             Err(e) => {
-                rows.push(vec![q.to_string(), "-".into(), "-".into(), "-".into(), format!("invalid: {e}")]);
+                rows.push(vec![
+                    q.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("invalid: {e}"),
+                ]);
                 continue;
             }
         };
-        let mut sim = PramMeshSim::new(
-            SimConfig::new(n, params.num_variables).with_q(q),
-        )
-        .expect("valid sim");
+        let mut sim =
+            PramMeshSim::new(SimConfig::new(n, params.num_variables).with_q(q)).expect("valid sim");
         let active = n.min(sim.num_variables());
         let vars = workload::multi_module_adversary(sim.hmos(), active, 0);
         let t = sim.step(&PramStep::reads(&vars)).unwrap().total_steps;

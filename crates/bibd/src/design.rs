@@ -35,9 +35,7 @@ impl Bibd {
     pub fn new(q: u64, d: u32) -> Result<Self, BibdError> {
         assert!(d >= 1, "BIBD requires d >= 1");
         let gf = Gf::new(q).map_err(BibdError::BadOrder)?;
-        let num_outputs = q
-            .checked_pow(d)
-            .ok_or(BibdError::Overflow { q, d })?;
+        let num_outputs = q.checked_pow(d).ok_or(BibdError::Overflow { q, d })?;
         let num_inputs = input_count(q, d).ok_or(BibdError::Overflow { q, d })?;
         Ok(Bibd {
             gf,
@@ -100,7 +98,7 @@ impl Bibd {
     pub fn decode_input(&self, v: u64) -> Phi {
         debug_assert!(v < self.num_inputs, "input {v} out of range");
         let qd1 = self.num_outputs / self.q; // q^{d-1}
-        // Block h has size q^{d-1} * q^h; find h by subtraction (d is tiny).
+                                             // Block h has size q^{d-1} * q^h; find h by subtraction (d is tiny).
         let mut h = 0u32;
         let mut rem = v;
         let mut block = qd1;

@@ -115,7 +115,10 @@ impl std::fmt::Display for BibdError {
         match self {
             BibdError::BadOrder(e) => write!(f, "invalid field order: {e}"),
             BibdError::Overflow { q, d } => write!(f, "BIBD({q}^{d}) overflows u64"),
-            BibdError::TooManyInputs { requested, available } => write!(
+            BibdError::TooManyInputs {
+                requested,
+                available,
+            } => write!(
                 f,
                 "subgraph requested {requested} inputs but the design has only {available}"
             ),

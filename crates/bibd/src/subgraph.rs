@@ -40,8 +40,8 @@ impl BibdSubgraph {
         }
         let q = bibd.q();
         let qd1 = bibd.num_outputs() / q; // q^{d-1}
-        // Find l: the block index in which input m-1 falls (or d if all
-        // blocks are complete). block_offset(l) <= m < block_offset(l+1).
+                                          // Find l: the block index in which input m-1 falls (or d if all
+                                          // blocks are complete). block_offset(l) <= m < block_offset(l+1).
         let mut l = 0u32;
         while l < bibd.d() && bibd.block_offset(l + 1) <= m {
             l += 1;
@@ -178,7 +178,11 @@ mod tests {
                 "({q},{d},m={m}): output {u} degree {deg} outside [{lo},{hi}]"
             );
             let ins = sg.inputs_of_output(u);
-            assert_eq!(ins.len() as u64, deg, "enumeration disagrees with closed form");
+            assert_eq!(
+                ins.len() as u64,
+                deg,
+                "enumeration disagrees with closed form"
+            );
             // Sorted, selected, adjacent, and ranks match positions.
             for (pos, &v) in ins.iter().enumerate() {
                 assert!(sg.contains_input(v));

@@ -3,7 +3,16 @@
 use prasim_bibd::{input_count, verify, Bibd, BibdSubgraph};
 use proptest::prelude::*;
 
-const PARAMS: &[(u64, u32)] = &[(2, 2), (2, 3), (3, 2), (3, 3), (4, 2), (5, 2), (7, 2), (9, 2)];
+const PARAMS: &[(u64, u32)] = &[
+    (2, 2),
+    (2, 3),
+    (3, 2),
+    (3, 3),
+    (4, 2),
+    (5, 2),
+    (7, 2),
+    (9, 2),
+];
 
 fn params_and_input() -> impl Strategy<Value = ((u64, u32), u64)> {
     prop::sample::select(PARAMS).prop_flat_map(|(q, d)| {

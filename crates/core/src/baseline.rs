@@ -313,7 +313,9 @@ impl FlatHmosSim {
 
     fn fixed_target_set(&self, var: u64) -> Vec<u64> {
         let mut rng = SplitMix64(var.wrapping_mul(0xD1B54A32D192ED03));
-        let prefs: Vec<u64> = (0..self.spec.num_leaves()).map(|_| rng.next_u64() >> 8).collect();
+        let prefs: Vec<u64> = (0..self.spec.num_leaves())
+            .map(|_| rng.next_u64() >> 8)
+            .collect();
         self.spec
             .extract_minimal(self.spec.k, |_| true, |l| prefs[l as usize])
             .expect("full tree always has a target set")
@@ -336,12 +338,7 @@ impl BaselineScheme for FlatHmosSim {
         for (p, op) in step.ops.iter().enumerate() {
             if let Some(op) = op {
                 for leaf in self.fixed_target_set(op.var()) {
-                    let addr = CopyAddr::from_leaf_index(
-                        op.var(),
-                        self.spec.q,
-                        self.spec.k,
-                        leaf,
-                    );
+                    let addr = CopyAddr::from_leaf_index(op.var(), self.spec.q, self.spec.k, leaf);
                     let rc = self.hmos.resolve(&addr);
                     let node = shape.index(rc.node);
                     pkts.push((p as u32, node));

@@ -97,8 +97,7 @@ pub fn step_crcw(
         }
     }
     // The reduction sweep costs one segmented scan (charged like rank).
-    let combine_steps =
-        sort_cost.steps + 2 * h as u64 * (shape.rows as u64 + shape.cols as u64);
+    let combine_steps = sort_cost.steps + 2 * h as u64 * (shape.rows as u64 + shape.cols as u64);
 
     // ---- Build the CREW phase(s). ----
     let read_vars: std::collections::HashSet<u64> = step
@@ -185,7 +184,7 @@ mod tests {
     #[test]
     fn sum_combining() {
         let mut s = sim();
-        let step = all_write(9, (1..=100).chain(std::iter::repeat(0).take(156)));
+        let step = all_write(9, (1..=100).chain(std::iter::repeat_n(0, 156)));
         step_crcw(&mut s, &step, WriteCombine::Sum).unwrap();
         assert_eq!(s.oracle_read(9), 5050);
     }
@@ -235,7 +234,10 @@ mod tests {
             step.ops[p] = Some(Op::Read { var: 1 });
         }
         for p in 50..90 {
-            step.ops[p] = Some(Op::Write { var: 2, value: p as u64 });
+            step.ops[p] = Some(Op::Write {
+                var: 2,
+                value: p as u64,
+            });
         }
         let r = step_crcw(&mut s, &step, WriteCombine::Min).unwrap();
         assert_eq!(r.phases.len(), 1);

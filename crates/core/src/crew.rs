@@ -236,12 +236,15 @@ mod tests {
     #[test]
     fn mixed_duplicates_and_writes() {
         let mut s = sim();
-        s.step(&PramStep::writes(&[1, 2, 3], &[10, 20, 30])).unwrap();
+        s.step(&PramStep::writes(&[1, 2, 3], &[10, 20, 30]))
+            .unwrap();
         let mut step = PramStep {
             ops: vec![None; 256],
         };
         for p in 0..100 {
-            step.ops[p] = Some(Op::Read { var: (p % 3 + 1) as u64 });
+            step.ops[p] = Some(Op::Read {
+                var: (p % 3 + 1) as u64,
+            });
         }
         step.ops[200] = Some(Op::Write { var: 50, value: 5 });
         step.ops[201] = Some(Op::Write { var: 51, value: 6 });
@@ -269,9 +272,7 @@ mod tests {
     #[test]
     fn rejects_read_write_conflicts_and_double_writes() {
         let mut s = sim();
-        let mut step = PramStep {
-            ops: vec![None; 4],
-        };
+        let mut step = PramStep { ops: vec![None; 4] };
         step.ops[0] = Some(Op::Read { var: 9 });
         step.ops[1] = Some(Op::Write { var: 9, value: 1 });
         assert!(matches!(
@@ -307,8 +308,7 @@ mod tests {
             // Read succ[succ[j]] and dist[succ[j]] (concurrent reads!).
             let read_succ = PramStep::reads(&succ.iter().map(|&sj| 2 * sj).collect::<Vec<_>>());
             let rs = step_crew(&mut s, &read_succ).unwrap();
-            let read_dist =
-                PramStep::reads(&succ.iter().map(|&sj| 2 * sj + 1).collect::<Vec<_>>());
+            let read_dist = PramStep::reads(&succ.iter().map(|&sj| 2 * sj + 1).collect::<Vec<_>>());
             let rd = step_crew(&mut s, &read_dist).unwrap();
             // Local update + write back.
             for j in 0..m as usize {

@@ -83,16 +83,50 @@ pub struct CullingOutcome {
     pub report: CullingReport,
 }
 
+/// Selects *all* `q^k` copies of every requested variable — the
+/// full-copy access required by hierarchical-majority reads
+/// ([`crate::protocol::ReadPolicy::HierarchicalMajority`]), where the
+/// quorum must be able to out-vote faulty copies rather than trust a
+/// minimal target set. No marking or sorting happens (there is no choice
+/// to make), so the charged cost is only the `O(q^k)` local enumeration;
+/// the routing phases then carry the full `q^k`-fold load.
+pub fn select_all(hmos: &Hmos, requests: &[Option<u64>]) -> CullingOutcome {
+    let params = hmos.params();
+    let (q, k) = (params.q, params.k);
+    let qk = params.redundancy();
+    let shape: MeshShape = hmos.shape();
+    let selected = requests
+        .iter()
+        .map(|req| match req {
+            None => Vec::new(),
+            Some(v) => (0..qk)
+                .map(|leaf| {
+                    let addr = CopyAddr::from_leaf_index(*v, q, k, leaf);
+                    let rc = hmos.resolve(&addr);
+                    SelectedCopy {
+                        leaf,
+                        node: shape.index(rc.node),
+                        slot: rc.slot,
+                        instances: rc.instances,
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    CullingOutcome {
+        selected,
+        report: CullingReport {
+            iterations: Vec::new(),
+            total_steps: qk,
+        },
+    }
+}
+
 /// Runs CULLING for the requested variables (`requests[p]` is processor
 /// `p`'s variable). `slack` scales the marking bound (1.0 = the paper's
 /// constant; smaller values stress the fallback path — used by the
 /// ablation benches).
-pub fn cull(
-    hmos: &Hmos,
-    requests: &[Option<u64>],
-    slack: f64,
-    analytic: bool,
-) -> CullingOutcome {
+pub fn cull(hmos: &Hmos, requests: &[Option<u64>], slack: f64, analytic: bool) -> CullingOutcome {
     let params = hmos.params();
     let (q, k, n) = (params.q, params.k, params.n);
     let qk = params.redundancy();
@@ -202,12 +236,8 @@ pub fn cull(
                 Some(set) => set,
                 None => {
                     fallbacks += 1;
-                    spec.extract_minimal(
-                        i,
-                        |l| in_c[l as usize],
-                        |l| u64::from(mk[l as usize]),
-                    )
-                    .expect("C^{i-1} is a level-(i-1) target set, hence a level-i target set")
+                    spec.extract_minimal(i, |l| in_c[l as usize], |l| u64::from(mk[l as usize]))
+                        .expect("C^{i-1} is a level-(i-1) target set, hence a level-i target set")
                 }
             };
             *leaves = next;

@@ -14,4 +14,5 @@ pub mod workload;
 pub use crcw::{step_crcw, CrcwReport, WriteCombine};
 pub use crew::{step_crew, CrewReport};
 pub use pram::{Op, PramStep};
+pub use protocol::{ReadPolicy, RunOptions};
 pub use sim::{PramMeshSim, SimConfig, StepReport};

@@ -114,8 +114,8 @@ impl PramProgram for PrefixSum {
                 let mut ops = Vec::with_capacity(m as usize);
                 for i in 0..m {
                     if i >= self.stride {
-                        self.local[i as usize] += prev_reads[i as usize]
-                            .expect("read scheduled for this processor");
+                        self.local[i as usize] +=
+                            prev_reads[i as usize].expect("read scheduled for this processor");
                         ops.push(Some(Op::Write {
                             var: i,
                             value: self.local[i as usize],
@@ -173,7 +173,11 @@ impl OddEvenSort {
     fn partner(&self, i: u64) -> Option<u64> {
         let m = self.local.len() as u64;
         let p = self.round % 2;
-        let j = if (i + p).is_multiple_of(2) { i + 1 } else { i.checked_sub(1)? };
+        let j = if (i + p).is_multiple_of(2) {
+            i + 1
+        } else {
+            i.checked_sub(1)?
+        };
         (j < m).then_some(j)
     }
 }
@@ -211,7 +215,10 @@ impl PramProgram for OddEvenSort {
                                 self.local[i as usize].max(other)
                             };
                             self.local[i as usize] = keep;
-                            ops.push(Some(Op::Write { var: i, value: keep }));
+                            ops.push(Some(Op::Write {
+                                var: i,
+                                value: keep,
+                            }));
                         }
                         None => ops.push(None),
                     }

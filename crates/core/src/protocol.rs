@@ -16,7 +16,8 @@
 
 use crate::culling::SelectedCopy;
 use crate::pram::Op;
-use prasim_hmos::Hmos;
+use prasim_fault::{CopyFaultKind, FaultPlan};
+use prasim_hmos::{CopyReport, Hmos, QuorumRead, TargetSpec};
 use prasim_mesh::engine::{Engine, EngineError, Packet};
 use prasim_mesh::region::Rect;
 use prasim_mesh::topology::Coord;
@@ -27,6 +28,73 @@ use std::collections::HashMap;
 
 /// A memory cell: `(value, timestamp)`; absent cells read as `(0, 0)`.
 pub type Cell = (u64, u64);
+
+/// How a processor's read result is assembled from the copies its
+/// packets reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadPolicy {
+    /// The freshest timestamp among the reached copies wins. Exact on a
+    /// fault-free machine (any two target sets intersect, so the
+    /// intersection carries the latest write), but a corrupted copy with
+    /// a forged timestamp silently wins the race.
+    #[default]
+    Freshest,
+    /// Definition 2's hierarchical majority over `T_v`: a `(ts, value)`
+    /// pair counts only when the leaves supporting it contain a full
+    /// target set, so no small coalition of corrupt, stale, or missing
+    /// copies can forge or suppress a result undetected. Requires
+    /// full-copy access ([`crate::culling::select_all`]).
+    HierarchicalMajority,
+}
+
+/// Per-call knobs of [`access_protocol`] (the positional argument list
+/// outgrew itself once fault injection arrived).
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions<'a> {
+    /// Timestamp assigned to this step's writes (the PRAM step number).
+    pub clock: u64,
+    /// Step budget per routing phase.
+    pub max_engine_steps: u64,
+    /// Charge analytic sort bounds instead of measured shearsort steps.
+    pub analytic: bool,
+    /// Read-resolution policy.
+    pub policy: ReadPolicy,
+    /// Fault scenario in force, if any: machine faults become per-step
+    /// engine masks, cell faults overlay the memory accesses.
+    pub faults: Option<&'a FaultPlan>,
+}
+
+impl RunOptions<'static> {
+    /// Fault-free freshest-read options with a generous engine budget.
+    pub fn new(clock: u64) -> Self {
+        RunOptions {
+            clock,
+            max_engine_steps: 100_000_000,
+            analytic: false,
+            policy: ReadPolicy::Freshest,
+            faults: None,
+        }
+    }
+}
+
+impl<'a> RunOptions<'a> {
+    /// Sets the read policy.
+    pub fn with_policy(mut self, policy: ReadPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Installs a fault plan (note the lifetime narrows to the plan's).
+    pub fn with_faults<'b>(self, faults: &'b FaultPlan) -> RunOptions<'b> {
+        RunOptions {
+            clock: self.clock,
+            max_engine_steps: self.max_engine_steps,
+            analytic: self.analytic,
+            policy: self.policy,
+            faults: Some(faults),
+        }
+    }
+}
 
 /// Per-stage protocol measurements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +124,9 @@ pub struct ProtocolReport {
     pub total_steps: u64,
     /// Largest engine queue observed (buffer-space certificate).
     pub max_queue: usize,
+    /// Packets lost to machine faults (dead nodes, severed regions,
+    /// lossy links) across all routing phases; 0 on a healthy mesh.
+    pub dropped: u64,
 }
 
 /// Result of executing one PRAM step's accesses.
@@ -63,34 +134,53 @@ pub struct ProtocolReport {
 pub struct AccessResult {
     /// Protocol measurements.
     pub report: ProtocolReport,
-    /// Per processor: the value read (None for writers and idle
-    /// processors). The freshest timestamp among the reached copies wins.
+    /// Per processor: the value read (None for writers, idle processors,
+    /// and unrecoverable reads). Resolution follows the
+    /// [`ReadPolicy`] in force.
     pub reads: Vec<Option<u64>>,
+    /// Per processor: how its read resolved (None for writers and idle
+    /// processors). Freshest reads report as clean `Value`s.
+    pub outcomes: Vec<Option<QuorumRead>>,
+    /// Per processor: whether its write installed a full target set of
+    /// `T_v` (None for readers and idle processors). An uncommitted
+    /// write may or may not be visible to later majority reads.
+    pub write_committed: Vec<Option<bool>>,
 }
 
 struct Pkt {
     proc: u32,
     copy: u32,
-    cur: u32, // current node index
+    cur: u32,    // current node index
+    alive: bool, // false once a machine fault swallowed the packet
 }
 
 /// Executes the access protocol for one PRAM step.
 ///
-/// `memory[node]` maps slots to cells. `clock` is the timestamp assigned
-/// to this step's writes. `ops[p]` / `selected[p]` give processor `p`'s
-/// operation and culled copy set.
+/// `memory[node]` maps slots to cells. `ops[p]` / `selected[p]` give
+/// processor `p`'s operation and selected copy set; `run` carries the
+/// clock, budgets, read policy, and fault scenario.
 pub fn access_protocol(
     hmos: &Hmos,
     memory: &mut [HashMap<u64, Cell>],
-    clock: u64,
     ops: &[Option<Op>],
     selected: &[Vec<SelectedCopy>],
-    max_engine_steps: u64,
-    analytic: bool,
+    run: &RunOptions<'_>,
 ) -> Result<AccessResult, EngineError> {
     let shape = hmos.shape();
     let k = hmos.params().k;
     let full = Rect::full(shape);
+    let clock = run.clock;
+    let analytic = run.analytic;
+
+    // Machine faults in force this step, if any.
+    let mask = run
+        .faults
+        .map(|f| f.mask_at(shape, clock))
+        .filter(|m| !m.is_empty());
+    let make_engine = || match &mask {
+        Some(m) => Engine::new(shape).with_faults(m.clone()),
+        None => Engine::new(shape),
+    };
 
     // Flatten packets.
     let mut pkts: Vec<Pkt> = Vec::new();
@@ -100,6 +190,7 @@ pub fn access_protocol(
                 proc: p as u32,
                 copy: ci as u32,
                 cur: p as u32, // processor p sits on node p
+                alive: true,
             });
         }
     }
@@ -113,6 +204,9 @@ pub fn access_protocol(
         // Key: page-instance id at level `stage` (u32::MAX = whole mesh).
         let mut groups: HashMap<u32, Vec<usize>> = HashMap::new();
         for (id, pkt) in pkts.iter().enumerate() {
+            if !pkt.alive {
+                continue;
+            }
             let key = if stage == k + 1 {
                 u32::MAX
             } else {
@@ -122,7 +216,8 @@ pub fn access_protocol(
         }
 
         let mut max_sort = SortCost::default();
-        let mut engine = Engine::new(shape);
+        let mut engine = make_engine();
+        let mut in_stage = vec![false; pkts.len()];
         let mut group_keys: Vec<u32> = groups.keys().copied().collect();
         group_keys.sort_unstable(); // deterministic order
         for gk in group_keys {
@@ -161,6 +256,7 @@ pub fn access_protocol(
                     let child_rect = hmos.pages(stage - 1)[child as usize].rect;
                     let dest = child_rect.coord_at((rank % child_rect.area()) as u32);
                     pkts[id as usize].cur = shape.index(at);
+                    in_stage[id as usize] = true;
                     engine.inject(
                         at,
                         Packet {
@@ -173,13 +269,21 @@ pub fn access_protocol(
                 }
             }
         }
-        let stats = engine.run(max_engine_steps)?;
+        let stats = engine.run(run.max_engine_steps)?;
         report.max_queue = report.max_queue.max(stats.max_queue);
+        report.dropped += stats.dropped;
         // Update positions and measure δ_{stage-1}.
         let mut per_node: HashMap<u32, u64> = HashMap::new();
         for (node, pkt) in engine.take_delivered() {
+            in_stage[pkt.tag as usize] = false;
             pkts[pkt.tag as usize].cur = node;
             *per_node.entry(node).or_insert(0) += 1;
+        }
+        // Anything injected but not delivered was swallowed by a fault.
+        for (id, lost) in in_stage.into_iter().enumerate() {
+            if lost {
+                pkts[id].alive = false;
+            }
         }
         let max_node_load = per_node.values().copied().max().unwrap_or(0);
         report.stages.push(StageReport {
@@ -193,11 +297,16 @@ pub fn access_protocol(
 
     // Stage 1: deliver to the copy-holding processors.
     {
-        let mut engine = Engine::new(shape);
+        let mut engine = make_engine();
+        let mut in_stage = vec![false; pkts.len()];
         for (id, pkt) in pkts.iter().enumerate() {
+            if !pkt.alive {
+                continue;
+            }
             let copy = copy_of(pkt);
             let rect = hmos.pages(1)[copy.instances[0] as usize].rect;
             let at = shape.coord(pkt.cur);
+            in_stage[id] = true;
             engine.inject(
                 at,
                 Packet {
@@ -208,12 +317,19 @@ pub fn access_protocol(
                 },
             );
         }
-        let stats = engine.run(max_engine_steps)?;
+        let stats = engine.run(run.max_engine_steps)?;
         report.max_queue = report.max_queue.max(stats.max_queue);
+        report.dropped += stats.dropped;
         let mut per_node: HashMap<u32, u64> = HashMap::new();
         for (node, pkt) in engine.take_delivered() {
+            in_stage[pkt.tag as usize] = false;
             pkts[pkt.tag as usize].cur = node;
             *per_node.entry(node).or_insert(0) += 1;
+        }
+        for (id, lost) in in_stage.into_iter().enumerate() {
+            if lost {
+                pkts[id].alive = false;
+            }
         }
         let max_node_load = per_node.values().copied().max().unwrap_or(0);
         report.stages.push(StageReport {
@@ -227,24 +343,54 @@ pub fn access_protocol(
         report.total_steps += max_node_load;
     }
 
-    // Perform the accesses.
+    // Perform the accesses. Cell faults overlay the memory: a corrupt
+    // cell answers reads with forged garbage and loses writes; a frozen
+    // cell keeps its stale contents and loses writes.
     let mut read_acc: Vec<Option<(u64, u64)>> = vec![None; ops.len()]; // (ts, value)
+    let mut replies: Vec<Vec<CopyReport>> = vec![Vec::new(); ops.len()];
+    let mut written: Vec<Vec<u64>> = vec![Vec::new(); ops.len()]; // installed leaves
     for pkt in &pkts {
+        if !pkt.alive {
+            continue;
+        }
         let copy = copy_of(pkt);
         debug_assert_eq!(pkt.cur, copy.node, "packet not at its copy");
+        let fault = run
+            .faults
+            .and_then(|f| f.cell_fault(copy.node, copy.slot, clock));
         match ops[pkt.proc as usize] {
             Some(Op::Read { .. }) => {
-                let (value, ts) = memory[copy.node as usize]
-                    .get(&copy.slot)
-                    .copied()
-                    .unwrap_or((0, 0));
-                let best = &mut read_acc[pkt.proc as usize];
-                if best.is_none_or(|(bts, _)| ts > bts) {
-                    *best = Some((ts, value));
+                let (value, ts) = match fault {
+                    Some(CopyFaultKind::Corrupt) => run
+                        .faults
+                        .expect("fault came from a plan")
+                        .garbage_for(copy.node, copy.slot),
+                    _ => memory[copy.node as usize]
+                        .get(&copy.slot)
+                        .copied()
+                        .unwrap_or((0, 0)),
+                };
+                match run.policy {
+                    ReadPolicy::Freshest => {
+                        let best = &mut read_acc[pkt.proc as usize];
+                        if best.is_none_or(|(bts, _)| ts > bts) {
+                            *best = Some((ts, value));
+                        }
+                    }
+                    ReadPolicy::HierarchicalMajority => {
+                        replies[pkt.proc as usize].push(CopyReport {
+                            leaf: copy.leaf,
+                            ts,
+                            value,
+                        });
+                    }
                 }
             }
             Some(Op::Write { value, .. }) => {
-                memory[copy.node as usize].insert(copy.slot, (value, clock));
+                if fault.is_none() {
+                    memory[copy.node as usize].insert(copy.slot, (value, clock));
+                    written[pkt.proc as usize].push(copy.leaf);
+                }
             }
             None => unreachable!("packet for an idle processor"),
         }
@@ -255,17 +401,46 @@ pub fn access_protocol(
     report.return_steps = report.stages.iter().map(|s| s.route_steps).sum();
     report.total_steps += report.return_steps;
 
-    let reads = read_acc
-        .into_iter()
-        .map(|r| r.map(|(_, value)| value))
-        .collect();
-    Ok(AccessResult { report, reads })
+    // Resolve per-processor results.
+    let params = hmos.params();
+    let spec = TargetSpec {
+        q: params.q,
+        k: params.k,
+    };
+    let mut reads: Vec<Option<u64>> = vec![None; ops.len()];
+    let mut outcomes: Vec<Option<QuorumRead>> = vec![None; ops.len()];
+    let mut write_committed: Vec<Option<bool>> = vec![None; ops.len()];
+    for (p, op) in ops.iter().enumerate() {
+        match op {
+            Some(Op::Read { .. }) => {
+                let outcome = match run.policy {
+                    ReadPolicy::Freshest => match read_acc[p] {
+                        Some((ts, value)) => QuorumRead::Value { ts, value },
+                        None => QuorumRead::Unrecoverable, // every packet lost
+                    },
+                    ReadPolicy::HierarchicalMajority => spec.resolve_majority(&replies[p]),
+                };
+                reads[p] = outcome.value();
+                outcomes[p] = Some(outcome);
+            }
+            Some(Op::Write { .. }) => {
+                write_committed[p] = Some(spec.is_target(&written[p]));
+            }
+            None => {}
+        }
+    }
+    Ok(AccessResult {
+        report,
+        reads,
+        outcomes,
+        write_committed,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::culling::cull;
+    use crate::culling::{cull, select_all};
     use crate::pram::PramStep;
     use crate::workload;
     use prasim_hmos::HmosParams;
@@ -285,14 +460,31 @@ mod tests {
         let vars = workload::random_distinct(1024, h.num_variables(), 2);
 
         let wstep = workload::write_step(&vars, 5000);
-        let sel = cull(&h, &vars.iter().map(|&v| Some(v)).collect::<Vec<_>>(), 1.0, false);
-        let res = access_protocol(&h, &mut memory, 1, &wstep.ops, &sel.selected, 10_000_000, false)
-            .unwrap();
+        let sel = cull(
+            &h,
+            &vars.iter().map(|&v| Some(v)).collect::<Vec<_>>(),
+            1.0,
+            false,
+        );
+        let res = access_protocol(
+            &h,
+            &mut memory,
+            &wstep.ops,
+            &sel.selected,
+            &RunOptions::new(1),
+        )
+        .unwrap();
         assert!(res.reads.iter().all(Option::is_none));
 
         let rstep = workload::read_step(&vars);
-        let res = access_protocol(&h, &mut memory, 2, &rstep.ops, &sel.selected, 10_000_000, false)
-            .unwrap();
+        let res = access_protocol(
+            &h,
+            &mut memory,
+            &rstep.ops,
+            &sel.selected,
+            &RunOptions::new(2),
+        )
+        .unwrap();
         for (p, read) in res.reads.iter().enumerate() {
             assert_eq!(*read, Some(5000 + p as u64), "processor {p}");
         }
@@ -308,8 +500,14 @@ mod tests {
         let sel = cull(&h, &reqs, 1.0, false);
         let mut step = workload::read_step(&vars);
         step.ops.resize(1024, None);
-        let res =
-            access_protocol(&h, &mut memory, 1, &step.ops, &sel.selected, 10_000_000, false).unwrap();
+        let res = access_protocol(
+            &h,
+            &mut memory,
+            &step.ops,
+            &sel.selected,
+            &RunOptions::new(1),
+        )
+        .unwrap();
         for p in 0..64 {
             assert_eq!(res.reads[p], Some(0));
         }
@@ -326,15 +524,25 @@ mod tests {
         let sel = cull(&h, &reqs, 1.0, false);
         let mut step = workload::read_step(&vars);
         step.ops.resize(1024, None);
-        let res =
-            access_protocol(&h, &mut memory, 1, &step.ops, &sel.selected, 10_000_000, false).unwrap();
+        let res = access_protocol(
+            &h,
+            &mut memory,
+            &step.ops,
+            &sel.selected,
+            &RunOptions::new(1),
+        )
+        .unwrap();
         // k = 2: stages 3, 2, 1.
         let stages: Vec<u32> = res.report.stages.iter().map(|s| s.stage).collect();
         assert_eq!(stages, vec![3, 2, 1]);
         assert!(res.report.total_steps > 0);
         assert_eq!(
             res.report.total_steps,
-            res.report.stages.iter().map(|s| s.sort_steps + s.route_steps).sum::<u64>()
+            res.report
+                .stages
+                .iter()
+                .map(|s| s.sort_steps + s.route_steps)
+                .sum::<u64>()
                 + res.report.access_steps
                 + res.report.return_steps
         );
@@ -358,15 +566,167 @@ mod tests {
             ops: vec![None; 1024],
         };
         wstep.ops[0] = Some(Op::Write { var: v, value: 111 });
-        access_protocol(&h, &mut memory, 1, &wstep.ops, &sel.selected, 10_000_000, false).unwrap();
+        access_protocol(
+            &h,
+            &mut memory,
+            &wstep.ops,
+            &sel.selected,
+            &RunOptions::new(1),
+        )
+        .unwrap();
         wstep.ops[0] = Some(Op::Write { var: v, value: 222 });
-        access_protocol(&h, &mut memory, 2, &wstep.ops, &sel.selected, 10_000_000, false).unwrap();
+        access_protocol(
+            &h,
+            &mut memory,
+            &wstep.ops,
+            &sel.selected,
+            &RunOptions::new(2),
+        )
+        .unwrap();
         let mut rstep = PramStep {
             ops: vec![None; 1024],
         };
         rstep.ops[0] = Some(Op::Read { var: v });
-        let res =
-            access_protocol(&h, &mut memory, 3, &rstep.ops, &sel.selected, 10_000_000, false).unwrap();
+        let res = access_protocol(
+            &h,
+            &mut memory,
+            &rstep.ops,
+            &sel.selected,
+            &RunOptions::new(3),
+        )
+        .unwrap();
         assert_eq!(res.reads[0], Some(222));
+    }
+
+    #[test]
+    fn quorum_roundtrip_certifies_and_commits() {
+        let h = hmos();
+        let mut memory = fresh_memory(1024);
+        let vars = workload::random_distinct(512, h.num_variables(), 2);
+        let mut reqs: Vec<Option<u64>> = vars.iter().copied().map(Some).collect();
+        reqs.resize(1024, None);
+        let sel = select_all(&h, &reqs);
+
+        let mut wstep = workload::write_step(&vars, 9000);
+        wstep.ops.resize(1024, None);
+        let opts = RunOptions::new(1).with_policy(ReadPolicy::HierarchicalMajority);
+        let res = access_protocol(&h, &mut memory, &wstep.ops, &sel.selected, &opts).unwrap();
+        for p in 0..512 {
+            assert_eq!(res.write_committed[p], Some(true), "processor {p}");
+        }
+
+        let mut rstep = workload::read_step(&vars);
+        rstep.ops.resize(1024, None);
+        let opts = RunOptions::new(2).with_policy(ReadPolicy::HierarchicalMajority);
+        let res = access_protocol(&h, &mut memory, &rstep.ops, &sel.selected, &opts).unwrap();
+        for p in 0..512 {
+            assert_eq!(res.reads[p], Some(9000 + p as u64), "processor {p}");
+            assert!(matches!(res.outcomes[p], Some(QuorumRead::Value { .. })));
+        }
+        assert_eq!(res.report.dropped, 0);
+    }
+
+    #[test]
+    fn corruption_fools_freshest_but_not_the_majority() {
+        use prasim_fault::{CopyFaultKind, FaultPlan};
+
+        let h = hmos();
+        let spec = TargetSpec { q: 3, k: 2 };
+        let mut memory = fresh_memory(1024);
+        let v = 77u64;
+        let reqs = {
+            let mut r: Vec<Option<u64>> = vec![None; 1024];
+            r[0] = Some(v);
+            r
+        };
+        let all = select_all(&h, &reqs);
+        let mut wstep = PramStep {
+            ops: vec![None; 1024],
+        };
+        wstep.ops[0] = Some(Op::Write { var: v, value: 555 });
+        let opts = RunOptions::new(1).with_policy(ReadPolicy::HierarchicalMajority);
+        access_protocol(&h, &mut memory, &wstep.ops, &all.selected, &opts).unwrap();
+
+        // Corrupt fewer copies than the tolerance bound ⌈q/2⌉^k = 4.
+        let mut plan = FaultPlan::new(5);
+        let f = spec.fault_tolerance() - 1;
+        plan.fault_variable_copies(&h, v, f, CopyFaultKind::Corrupt, 0);
+
+        let mut rstep = PramStep {
+            ops: vec![None; 1024],
+        };
+        rstep.ops[0] = Some(Op::Read { var: v });
+
+        // Freshest over the same full copy set: the forged timestamps win.
+        let fresh = RunOptions::new(2).with_faults(&plan);
+        let res = access_protocol(&h, &mut memory, &rstep.ops, &all.selected, &fresh).unwrap();
+        assert_ne!(
+            res.reads[0],
+            Some(555),
+            "forged ts must fool the freshest rule"
+        );
+
+        // The hierarchical majority recovers the value and flags the
+        // anomaly (the forged timestamps were seen but not certified).
+        let quorum = RunOptions::new(2)
+            .with_policy(ReadPolicy::HierarchicalMajority)
+            .with_faults(&plan);
+        let res = access_protocol(&h, &mut memory, &rstep.ops, &all.selected, &quorum).unwrap();
+        assert_eq!(res.reads[0], Some(555));
+        assert!(matches!(
+            res.outcomes[0],
+            Some(QuorumRead::Tainted { value: 555, .. })
+        ));
+    }
+
+    #[test]
+    fn above_tolerance_corruption_never_certifies_a_wrong_value() {
+        use prasim_fault::{CopyFaultKind, FaultPlan};
+
+        let h = hmos();
+        let spec = TargetSpec { q: 3, k: 2 };
+        let mut memory = fresh_memory(1024);
+        let v = 99u64;
+        let reqs = {
+            let mut r: Vec<Option<u64>> = vec![None; 1024];
+            r[0] = Some(v);
+            r
+        };
+        let all = select_all(&h, &reqs);
+        let mut wstep = PramStep {
+            ops: vec![None; 1024],
+        };
+        wstep.ops[0] = Some(Op::Write { var: v, value: 321 });
+        let opts = RunOptions::new(1).with_policy(ReadPolicy::HierarchicalMajority);
+        access_protocol(&h, &mut memory, &wstep.ops, &all.selected, &opts).unwrap();
+
+        let mut rstep = PramStep {
+            ops: vec![None; 1024],
+        };
+        rstep.ops[0] = Some(Op::Read { var: v });
+        for extra in 0..=2u64 {
+            let mut plan = FaultPlan::new(40 + extra);
+            plan.fault_variable_copies(
+                &h,
+                v,
+                spec.fault_tolerance() + extra,
+                CopyFaultKind::Corrupt,
+                0,
+            );
+            let quorum = RunOptions::new(2)
+                .with_policy(ReadPolicy::HierarchicalMajority)
+                .with_faults(&plan);
+            let res = access_protocol(&h, &mut memory, &rstep.ops, &all.selected, &quorum).unwrap();
+            // Either the healthy leaves still contain a target set (the
+            // true value certifies) or the read fails *detectably* —
+            // the distinct garbage can never collude into a quorum.
+            match res.outcomes[0] {
+                Some(QuorumRead::Value { value, .. }) | Some(QuorumRead::Tainted { value, .. }) => {
+                    assert_eq!(value, 321, "certified value must be the written one")
+                }
+                Some(QuorumRead::Unrecoverable) => assert_eq!(res.reads[0], None),
+                None => panic!("read op must resolve"),
+            }
+        }
     }
 }

@@ -1,9 +1,10 @@
 //! The simulator facade: configure once, then feed PRAM steps.
 
-use crate::culling::{cull, CullingReport};
-use crate::pram::PramStep;
-use crate::protocol::{access_protocol, Cell, ProtocolReport};
-use prasim_hmos::{CopyAddr, Hmos, HmosError, HmosParams};
+use crate::culling::{cull, select_all, CullingReport};
+use crate::pram::{Op, PramStep};
+use crate::protocol::{access_protocol, Cell, ProtocolReport, ReadPolicy, RunOptions};
+use prasim_fault::{FaultPlan, ReadOutcome, ReadRecord, TraceChecker, TraceReport, WriteRecord};
+use prasim_hmos::{CopyAddr, Hmos, HmosError, HmosParams, QuorumRead};
 use prasim_mesh::engine::EngineError;
 use std::collections::HashMap;
 
@@ -27,6 +28,11 @@ pub struct SimConfig {
     /// Charge the paper's analytic sort bound instead of the measured
     /// shearsort steps (DESIGN.md §4).
     pub analytic_sort: bool,
+    /// How reads are resolved from the reached copies. The default
+    /// ([`ReadPolicy::Freshest`]) is the fault-free fast path; switch to
+    /// [`ReadPolicy::HierarchicalMajority`] to read via Definition 2's
+    /// quorum over all `q^k` copies (required for fault tolerance).
+    pub read_policy: ReadPolicy,
 }
 
 impl SimConfig {
@@ -41,7 +47,14 @@ impl SimConfig {
             culling_slack: 1.0,
             max_engine_steps: 100_000_000,
             analytic_sort: false,
+            read_policy: ReadPolicy::Freshest,
         }
+    }
+
+    /// Sets the read-resolution policy.
+    pub fn with_read_policy(mut self, policy: ReadPolicy) -> Self {
+        self.read_policy = policy;
+        self
     }
 
     /// Charges the paper's analytic sort bound instead of the measured
@@ -97,10 +110,16 @@ impl std::fmt::Display for SimError {
             SimError::Hmos(e) => write!(f, "{e}"),
             SimError::Engine(e) => write!(f, "{e}"),
             SimError::InvalidStep { var } => {
-                write!(f, "invalid PRAM step (variable {var}: duplicate or out of range)")
+                write!(
+                    f,
+                    "invalid PRAM step (variable {var}: duplicate or out of range)"
+                )
             }
             SimError::TooManyOps { ops, n } => {
-                write!(f, "step has {ops} operations but the machine has {n} processors")
+                write!(
+                    f,
+                    "step has {ops} operations but the machine has {n} processors"
+                )
             }
         }
     }
@@ -127,8 +146,13 @@ pub struct StepReport {
     pub culling: CullingReport,
     /// Access-protocol statistics (`T_protocol`).
     pub protocol: ProtocolReport,
-    /// Per-processor read results (None for writers / idle processors).
+    /// Per-processor read results (None for writers, idle processors,
+    /// and unrecoverable reads).
     pub reads: Vec<Option<u64>>,
+    /// Per-processor read resolutions (None for writers / idle
+    /// processors); distinguishes clean, tainted, and unrecoverable
+    /// reads under fault injection.
+    pub outcomes: Vec<Option<QuorumRead>>,
     /// `T_sim` = culling + protocol steps.
     pub total_steps: u64,
 }
@@ -152,6 +176,8 @@ pub struct PramMeshSim {
     hmos: Hmos,
     memory: Vec<HashMap<u64, Cell>>,
     clock: u64,
+    fault_plan: Option<FaultPlan>,
+    checker: TraceChecker,
 }
 
 impl PramMeshSim {
@@ -165,7 +191,35 @@ impl PramMeshSim {
             hmos,
             config,
             clock: 0,
+            fault_plan: None,
+            checker: TraceChecker::new(),
         })
+    }
+
+    /// Installs a fault scenario; subsequent steps run against it. The
+    /// plan's per-step activation thresholds are compared against this
+    /// simulator's [`PramMeshSim::clock`].
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Builder form of [`PramMeshSim::set_fault_plan`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.set_fault_plan(plan);
+        self
+    }
+
+    /// The installed fault scenario, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// The consistency verdict over every step simulated so far: each
+    /// read and write is replayed against an ideal EREW PRAM memory, so
+    /// this reports exactly how the machine degraded under faults
+    /// (`silent_wrong_reads` must stay 0 for the run to be trustworthy).
+    pub fn trace_report(&self) -> TraceReport {
+        self.checker.report()
     }
 
     /// The underlying memory organization scheme.
@@ -203,31 +257,67 @@ impl PramMeshSim {
         ops.resize(self.config.n as usize, None);
         let requests: Vec<Option<u64>> = ops.iter().map(|o| o.map(|op| op.var())).collect();
 
-        let culled = cull(
-            &self.hmos,
-            &requests,
-            self.config.culling_slack,
-            self.config.analytic_sort,
-        );
+        // Freshest reads use the culled minimal target sets; majority
+        // reads must see every copy so the quorum can out-vote faults.
+        let culled = match self.config.read_policy {
+            ReadPolicy::Freshest => cull(
+                &self.hmos,
+                &requests,
+                self.config.culling_slack,
+                self.config.analytic_sort,
+            ),
+            ReadPolicy::HierarchicalMajority => select_all(&self.hmos, &requests),
+        };
         self.clock += 1;
-        let mut access = access_protocol(
-            &self.hmos,
-            &mut self.memory,
-            self.clock,
-            &ops,
-            &culled.selected,
-            self.config.max_engine_steps,
-            self.config.analytic_sort,
-        )?;
+        let run = RunOptions {
+            clock: self.clock,
+            max_engine_steps: self.config.max_engine_steps,
+            analytic: self.config.analytic_sort,
+            policy: self.config.read_policy,
+            faults: self.fault_plan.as_ref(),
+        };
+        let mut access =
+            access_protocol(&self.hmos, &mut self.memory, &ops, &culled.selected, &run)?;
+
+        // Feed the consistency checker before truncating.
+        let mut read_recs = Vec::new();
+        let mut write_recs = Vec::new();
+        for (p, op) in ops.iter().enumerate() {
+            match op {
+                Some(Op::Read { var }) => {
+                    let outcome = match access.outcomes[p] {
+                        Some(QuorumRead::Value { value, .. }) => ReadOutcome::Value(value),
+                        Some(QuorumRead::Tainted { value, .. }) => ReadOutcome::Tainted(value),
+                        _ => ReadOutcome::Unrecoverable,
+                    };
+                    read_recs.push(ReadRecord {
+                        proc: p as u32,
+                        var: *var,
+                        outcome,
+                    });
+                }
+                Some(Op::Write { var, value }) => write_recs.push(WriteRecord {
+                    proc: p as u32,
+                    var: *var,
+                    value: *value,
+                    committed: access.write_committed[p].unwrap_or(false),
+                }),
+                None => {}
+            }
+        }
+        self.checker.record_step(&read_recs, &write_recs);
+
         // Report reads aligned with the caller's ops (the tail we padded
         // with idle processors is dropped).
         access.reads.truncate(step.ops.len());
+        access.outcomes.truncate(step.ops.len());
 
         let total_steps = culled.report.total_steps + access.report.total_steps;
         Ok(StepReport {
             culling: culled.report,
             protocol: access.report,
             reads: access.reads,
+            outcomes: access.outcomes,
             total_steps,
         })
     }
@@ -382,6 +472,73 @@ mod tests {
         assert!(theorem1_exponent(1.55) < theorem1_exponent(1.65));
         assert!(theorem1_exponent(1.8) < theorem1_exponent(2.0));
         assert!((theorem1_exponent(2.0) - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quorum_policy_matches_freshest_when_fault_free() {
+        let mut s = PramMeshSim::new(
+            SimConfig::new(1024, 1080).with_read_policy(ReadPolicy::HierarchicalMajority),
+        )
+        .unwrap();
+        let vars = workload::random_distinct(300, s.num_variables(), 31);
+        let values: Vec<u64> = vars.iter().map(|v| v + 7).collect();
+        s.step(&PramStep::writes(&vars, &values)).unwrap();
+        let r = s.step(&PramStep::reads(&vars)).unwrap();
+        for (p, &val) in values.iter().enumerate() {
+            assert_eq!(r.reads[p], Some(val), "processor {p}");
+        }
+        let t = s.trace_report();
+        assert!(t.is_consistent() && t.fully_recovered(), "{t:?}");
+        assert_eq!(t.committed_writes, 300);
+        assert_eq!(t.correct_reads, 300);
+    }
+
+    #[test]
+    fn dead_nodes_degrade_gracefully_under_quorum() {
+        use prasim_fault::FaultPlan;
+
+        let mut s = PramMeshSim::new(
+            SimConfig::new(1024, 1080).with_read_policy(ReadPolicy::HierarchicalMajority),
+        )
+        .unwrap();
+        let shape = s.hmos().shape();
+        let mut plan = FaultPlan::new(1234);
+        plan.random_dead_nodes(shape, 20, 0);
+        s.set_fault_plan(plan);
+
+        let vars = workload::random_distinct(200, s.num_variables(), 41);
+        let values: Vec<u64> = vars.iter().map(|v| v * 2 + 1).collect();
+        s.step(&PramStep::writes(&vars, &values)).unwrap();
+        let r = s.step(&PramStep::reads(&vars)).unwrap();
+        let t = s.trace_report();
+        // Graceful degradation: losses are allowed, lies are not.
+        assert!(t.is_consistent(), "{t:?}");
+        assert_eq!(t.silent_wrong_reads, 0);
+        // 20 dead nodes in 1024 should leave the vast majority readable.
+        assert!(t.correct_reads + t.tainted_reads > 150, "{t:?}");
+        assert!(r.protocol.dropped > 0, "dead nodes must swallow packets");
+    }
+
+    #[test]
+    fn checker_catches_freshest_silent_wrong_reads() {
+        use prasim_fault::{CopyFaultKind, FaultPlan};
+
+        // Default (freshest) policy: corrupt copies with forged
+        // timestamps silently win the read, and only the trace checker
+        // notices. Corrupting all but 3 of the 9 copies guarantees every
+        // culled 4-copy target set touches a corrupt cell.
+        let mut s = sim(1024, 1080);
+        let v = 50u64;
+        let qk = s.hmos().params().redundancy();
+        let mut plan = FaultPlan::new(7);
+        plan.fault_variable_copies(s.hmos(), v, qk - 3, CopyFaultKind::Corrupt, 0);
+        s.set_fault_plan(plan);
+        s.step(&PramStep::writes(&[v], &[42])).unwrap();
+        let r = s.step(&PramStep::reads(&[v])).unwrap();
+        assert_ne!(r.reads[0], Some(42), "freshest rule must be fooled");
+        let t = s.trace_report();
+        assert_eq!(t.silent_wrong_reads, 1);
+        assert!(!t.is_consistent());
     }
 
     #[test]

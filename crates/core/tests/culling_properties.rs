@@ -28,7 +28,7 @@ proptest! {
         let mut reqs: Vec<Option<u64>> = vars.into_iter().map(Some).collect();
         reqs.resize(256, None);
         // Scatter the idle processors around deterministically.
-        if seed % 3 == 0 {
+        if seed.is_multiple_of(3) {
             reqs.rotate_right((seed % 256) as usize);
         }
         let out = cull(&h, &reqs, slack, false);

@@ -1,0 +1,290 @@
+//! Trace-based PRAM-consistency checking.
+//!
+//! The checker receives, for every simulated PRAM step, the reads and
+//! writes the machine performed, and replays them against an ideal shared
+//! memory (the PRAM being simulated). A trace is a **legal EREW PRAM
+//! execution** when
+//!
+//! 1. no two processors touch the same variable within one step
+//!    (exclusive read, exclusive write), and
+//! 2. every read returns an *admissible* value: the last committed write
+//!    to the variable (0 if none), or the value of a write that only
+//!    partially installed its copy set — such a write has no definite
+//!    position in the serialization, so either outcome is legal.
+//!
+//! Reads additionally carry how the machine resolved them, so every read
+//! lands in exactly one class: **correct**, **tainted** (correct value,
+//! but the quorum flagged an anomaly), **unrecoverable** (the machine
+//! itself reported failure — detected), or **silent wrong** (the machine
+//! returned a wrong value as if it were good). Graceful degradation means
+//! the last class stays empty no matter how many faults are injected.
+
+use std::collections::{HashMap, HashSet};
+
+/// How the machine resolved one read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// A value returned with no anomaly reported.
+    Value(u64),
+    /// A value returned, with the quorum flagging uncertified fresher
+    /// timestamps (detected anomaly, value still certified).
+    Tainted(u64),
+    /// The machine detected that the read cannot be recovered.
+    Unrecoverable,
+}
+
+/// One read performed by the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadRecord {
+    /// Issuing processor.
+    pub proc: u32,
+    /// Variable read.
+    pub var: u64,
+    /// What the machine returned.
+    pub outcome: ReadOutcome,
+}
+
+/// One write performed by the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteRecord {
+    /// Issuing processor.
+    pub proc: u32,
+    /// Variable written.
+    pub var: u64,
+    /// Value written.
+    pub value: u64,
+    /// Whether the copies actually updated form a target set of `T_v`
+    /// (the write is then visible to every future majority read).
+    pub committed: bool,
+}
+
+/// Aggregated verdict over a recorded trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceReport {
+    /// PRAM steps recorded.
+    pub steps: u64,
+    /// Reads recorded.
+    pub reads: u64,
+    /// Writes recorded.
+    pub writes: u64,
+    /// Writes that installed a full target set.
+    pub committed_writes: u64,
+    /// Writes that installed only a partial copy set.
+    pub partial_writes: u64,
+    /// Reads returning the expected value with no anomaly.
+    pub correct_reads: u64,
+    /// Reads returning an admissible value with a flagged anomaly.
+    pub tainted_reads: u64,
+    /// Reads the machine itself reported as failed (detected).
+    pub unrecoverable_reads: u64,
+    /// Reads returning a wrong value as if it were good — must be 0.
+    pub silent_wrong_reads: u64,
+    /// Steps with intra-step read/write conflicts (EREW violations).
+    pub erew_violations: u64,
+}
+
+impl TraceReport {
+    /// Whether the trace is a legal EREW PRAM execution: exclusivity
+    /// holds and no read was silently wrong. Detected failures
+    /// (unrecoverable reads) do not make a trace illegal — they are the
+    /// machine refusing to lie.
+    pub fn is_consistent(&self) -> bool {
+        self.silent_wrong_reads == 0 && self.erew_violations == 0
+    }
+
+    /// Whether every read came back with the expected value (clean or
+    /// tainted) — i.e. the machine fully masked all injected faults.
+    pub fn fully_recovered(&self) -> bool {
+        self.is_consistent() && self.unrecoverable_reads == 0
+    }
+
+    /// Fraction of reads that returned the expected value.
+    pub fn recovery_rate(&self) -> f64 {
+        if self.reads == 0 {
+            return 1.0;
+        }
+        (self.correct_reads + self.tainted_reads) as f64 / self.reads as f64
+    }
+}
+
+/// Replays recorded steps against an ideal memory; see the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct TraceChecker {
+    /// Last committed value per variable (ideal PRAM memory).
+    ideal: HashMap<u64, u64>,
+    /// Values of partial writes since the last committed write, per
+    /// variable; reading one of these is admissible but not expected.
+    partial: HashMap<u64, Vec<u64>>,
+    report: TraceReport,
+}
+
+impl TraceChecker {
+    /// A checker with empty ideal memory (all variables read as 0).
+    pub fn new() -> Self {
+        TraceChecker::default()
+    }
+
+    /// Records one PRAM step. Reads are checked against the ideal memory
+    /// *before* this step's writes apply (EREW semantics: a step's reads
+    /// never observe its own writes).
+    pub fn record_step(&mut self, reads: &[ReadRecord], writes: &[WriteRecord]) {
+        self.report.steps += 1;
+        // EREW exclusivity: every variable touched at most once.
+        let mut touched: HashSet<u64> = HashSet::new();
+        let mut conflict = false;
+        for var in reads
+            .iter()
+            .map(|r| r.var)
+            .chain(writes.iter().map(|w| w.var))
+        {
+            conflict |= !touched.insert(var);
+        }
+        if conflict {
+            self.report.erew_violations += 1;
+        }
+
+        for r in reads {
+            self.report.reads += 1;
+            let expected = self.ideal.get(&r.var).copied().unwrap_or(0);
+            let admissible =
+                |v: u64| v == expected || self.partial.get(&r.var).is_some_and(|p| p.contains(&v));
+            match r.outcome {
+                ReadOutcome::Value(v) if admissible(v) => self.report.correct_reads += 1,
+                ReadOutcome::Tainted(v) if admissible(v) => self.report.tainted_reads += 1,
+                ReadOutcome::Unrecoverable => self.report.unrecoverable_reads += 1,
+                ReadOutcome::Value(_) | ReadOutcome::Tainted(_) => {
+                    self.report.silent_wrong_reads += 1
+                }
+            }
+        }
+
+        for w in writes {
+            self.report.writes += 1;
+            if w.committed {
+                self.report.committed_writes += 1;
+                self.ideal.insert(w.var, w.value);
+                self.partial.remove(&w.var);
+            } else {
+                self.report.partial_writes += 1;
+                self.partial.entry(w.var).or_default().push(w.value);
+            }
+        }
+    }
+
+    /// The verdict so far.
+    pub fn report(&self) -> TraceReport {
+        self.report
+    }
+
+    /// The ideal-memory value a fault-free read of `var` must return now.
+    pub fn expected(&self, var: u64) -> u64 {
+        self.ideal.get(&var).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(proc: u32, var: u64, outcome: ReadOutcome) -> ReadRecord {
+        ReadRecord { proc, var, outcome }
+    }
+
+    fn write(proc: u32, var: u64, value: u64, committed: bool) -> WriteRecord {
+        WriteRecord {
+            proc,
+            var,
+            value,
+            committed,
+        }
+    }
+
+    #[test]
+    fn clean_trace_is_consistent() {
+        let mut c = TraceChecker::new();
+        c.record_step(
+            &[read(0, 5, ReadOutcome::Value(0))],
+            &[write(1, 7, 99, true)],
+        );
+        c.record_step(&[read(2, 7, ReadOutcome::Value(99))], &[]);
+        let r = c.report();
+        assert!(r.is_consistent() && r.fully_recovered());
+        assert_eq!(r.correct_reads, 2);
+        assert_eq!(r.committed_writes, 1);
+        assert_eq!(r.recovery_rate(), 1.0);
+    }
+
+    #[test]
+    fn reads_do_not_see_same_step_writes() {
+        let mut c = TraceChecker::new();
+        c.record_step(&[], &[write(0, 1, 10, true)]);
+        // Read of var 1 in the same step as a write of var 2: sees 10.
+        c.record_step(
+            &[read(0, 1, ReadOutcome::Value(10))],
+            &[write(1, 2, 5, true)],
+        );
+        // A read that claimed to see a same-step write would be wrong:
+        c.record_step(
+            &[read(0, 2, ReadOutcome::Value(7))],
+            &[write(1, 2, 7, true)],
+        );
+        let r = c.report();
+        assert_eq!(r.silent_wrong_reads, 1);
+        assert!(!r.is_consistent());
+    }
+
+    #[test]
+    fn erew_violation_detected() {
+        let mut c = TraceChecker::new();
+        c.record_step(
+            &[
+                read(0, 3, ReadOutcome::Value(0)),
+                read(1, 3, ReadOutcome::Value(0)),
+            ],
+            &[],
+        );
+        assert_eq!(c.report().erew_violations, 1);
+        assert!(!c.report().is_consistent());
+    }
+
+    #[test]
+    fn unrecoverable_is_detected_not_wrong() {
+        let mut c = TraceChecker::new();
+        c.record_step(&[], &[write(0, 1, 42, true)]);
+        c.record_step(&[read(0, 1, ReadOutcome::Unrecoverable)], &[]);
+        let r = c.report();
+        assert!(
+            r.is_consistent(),
+            "detected failure must not break legality"
+        );
+        assert!(!r.fully_recovered());
+        assert_eq!(r.unrecoverable_reads, 1);
+        assert_eq!(r.recovery_rate(), 0.0);
+    }
+
+    #[test]
+    fn partial_write_values_are_admissible_until_next_commit() {
+        let mut c = TraceChecker::new();
+        c.record_step(&[], &[write(0, 1, 10, true)]);
+        c.record_step(&[], &[write(0, 1, 20, false)]); // partial
+                                                       // Old committed and new partial are both admissible.
+        c.record_step(&[read(0, 1, ReadOutcome::Value(10))], &[]);
+        c.record_step(&[read(0, 1, ReadOutcome::Tainted(20))], &[]);
+        assert!(c.report().is_consistent());
+        assert_eq!(c.report().tainted_reads, 1);
+        // A committed write clears the partial set.
+        c.record_step(&[], &[write(0, 1, 30, true)]);
+        c.record_step(&[read(0, 1, ReadOutcome::Value(20))], &[]);
+        let r = c.report();
+        assert_eq!(r.silent_wrong_reads, 1);
+        assert_eq!(r.partial_writes, 1);
+    }
+
+    #[test]
+    fn tainted_wrong_value_counts_as_silent_wrong() {
+        let mut c = TraceChecker::new();
+        c.record_step(&[], &[write(0, 1, 1, true)]);
+        c.record_step(&[read(0, 1, ReadOutcome::Tainted(999))], &[]);
+        assert_eq!(c.report().silent_wrong_reads, 1);
+    }
+}

@@ -1,0 +1,402 @@
+//! Seeded, deterministic fault plans.
+//!
+//! A [`FaultPlan`] is a declarative list of faults, each with a `from`
+//! PRAM step (0 = static). Machine faults (dead nodes, severed/lossy
+//! links) compile into a [`FaultMask`] per PRAM step for the packet
+//! engine; memory faults (corrupted or frozen copies) are looked up
+//! per-cell by the access protocol at read/write time.
+//!
+//! Everything is reproducible: the same seed and the same builder calls
+//! produce byte-identical fault patterns, and corrupted copies return
+//! garbage derived by hashing `(seed, node, slot)` — deterministic, but
+//! pairwise distinct across copies, so corrupt replies can never collude
+//! into a forged quorum by accident.
+
+use prasim_hmos::Hmos;
+use prasim_mesh::topology::Dir;
+use prasim_mesh::{Coord, FaultMask, MeshShape};
+use std::collections::HashMap;
+
+/// SplitMix64 finalizer used for all derived randomness.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// How a faulty memory copy misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyFaultKind {
+    /// Reads of the cell return deterministic garbage under a forged,
+    /// implausibly high timestamp; writes are lost.
+    Corrupt,
+    /// Writes to the cell silently stop applying; reads keep returning
+    /// whatever it held when the fault activated (stale data).
+    Freeze,
+}
+
+/// A link fault: fully severed or dropping a fraction of traversals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LinkFaultKind {
+    Severed,
+    Lossy(u16),
+}
+
+/// A reproducible fault scenario for one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Dead processors/memory modules: `(node, active-from step)`.
+    dead_nodes: Vec<(Coord, u64)>,
+    /// Broken links: `(node, dir, kind, active-from step)`.
+    links: Vec<(Coord, Dir, LinkFaultKind, u64)>,
+    /// Faulty memory cells: `(node index, slot) -> (kind, active-from)`.
+    cells: HashMap<(u32, u64), (CopyFaultKind, u64)>,
+    /// Number of copy faults, per kind, for reporting.
+    corrupt_copies: u64,
+    frozen_copies: u64,
+}
+
+impl FaultPlan {
+    /// An empty plan; `seed` drives every derived random choice.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// The seed this plan derives randomness from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether the plan contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.dead_nodes.is_empty() && self.links.is_empty() && self.cells.is_empty()
+    }
+
+    // -- explicit builders ------------------------------------------------
+
+    /// Kills a node from PRAM step `from` onwards.
+    pub fn kill_node_from(&mut self, node: Coord, from: u64) -> &mut Self {
+        self.dead_nodes.push((node, from));
+        self
+    }
+
+    /// Kills a node for the whole run.
+    pub fn kill_node(&mut self, node: Coord) -> &mut Self {
+        self.kill_node_from(node, 0)
+    }
+
+    /// Severs the undirected link `(node, dir)` from PRAM step `from`.
+    pub fn sever_link_from(&mut self, node: Coord, dir: Dir, from: u64) -> &mut Self {
+        self.links.push((node, dir, LinkFaultKind::Severed, from));
+        self
+    }
+
+    /// Severs the undirected link `(node, dir)` for the whole run.
+    pub fn sever_link(&mut self, node: Coord, dir: Dir) -> &mut Self {
+        self.sever_link_from(node, dir, 0)
+    }
+
+    /// Makes the link `(node, dir)` drop `per_mille`/1000 of traversals
+    /// from PRAM step `from`.
+    pub fn lossy_link_from(
+        &mut self,
+        node: Coord,
+        dir: Dir,
+        per_mille: u16,
+        from: u64,
+    ) -> &mut Self {
+        self.links
+            .push((node, dir, LinkFaultKind::Lossy(per_mille), from));
+        self
+    }
+
+    /// Makes the link `(node, dir)` lossy for the whole run.
+    pub fn lossy_link(&mut self, node: Coord, dir: Dir, per_mille: u16) -> &mut Self {
+        self.lossy_link_from(node, dir, per_mille, 0)
+    }
+
+    /// Marks one memory cell faulty from PRAM step `from`.
+    pub fn fault_cell_from(
+        &mut self,
+        node_idx: u32,
+        slot: u64,
+        kind: CopyFaultKind,
+        from: u64,
+    ) -> &mut Self {
+        if self.cells.insert((node_idx, slot), (kind, from)).is_none() {
+            match kind {
+                CopyFaultKind::Corrupt => self.corrupt_copies += 1,
+                CopyFaultKind::Freeze => self.frozen_copies += 1,
+            }
+        }
+        self
+    }
+
+    // -- seeded random builders -------------------------------------------
+
+    /// Kills `count` distinct nodes chosen deterministically from the
+    /// seed. Node `(0,0)` is spared: the protocol's stage pipeline uses
+    /// it as the canonical origin and losing it makes every experiment
+    /// degenerate rather than interesting.
+    pub fn random_dead_nodes(&mut self, shape: MeshShape, count: u64, from: u64) -> &mut Self {
+        let mut picked = Vec::new();
+        let mut ctr = 0u64;
+        while (picked.len() as u64) < count.min(shape.nodes() - 1) {
+            let idx = (mix(self.seed ^ 0xD0A0 ^ ctr) % shape.nodes()) as u32;
+            ctr += 1;
+            if idx == 0 || picked.contains(&idx) {
+                continue;
+            }
+            picked.push(idx);
+            self.kill_node_from(shape.coord(idx), from);
+        }
+        self
+    }
+
+    /// Severs `count` distinct interior links chosen deterministically.
+    pub fn random_severed_links(&mut self, shape: MeshShape, count: u64, from: u64) -> &mut Self {
+        self.random_links(shape, count, from, LinkFaultKind::Severed, 0x5E7E)
+    }
+
+    /// Makes `count` distinct links lossy at `per_mille`/1000.
+    pub fn random_lossy_links(
+        &mut self,
+        shape: MeshShape,
+        count: u64,
+        per_mille: u16,
+        from: u64,
+    ) -> &mut Self {
+        self.random_links(shape, count, from, LinkFaultKind::Lossy(per_mille), 0x1055)
+    }
+
+    fn random_links(
+        &mut self,
+        shape: MeshShape,
+        count: u64,
+        from: u64,
+        kind: LinkFaultKind,
+        salt: u64,
+    ) -> &mut Self {
+        let mut picked: Vec<(u32, u8)> = Vec::new();
+        let mut ctr = 0u64;
+        while (picked.len() as u64) < count {
+            let h = mix(self.seed ^ salt ^ ctr);
+            ctr += 1;
+            if ctr > count * 64 {
+                break; // tiny meshes may not have enough distinct links
+            }
+            let idx = (h % shape.nodes()) as u32;
+            let dir = Dir::ALL[(h >> 32) as usize % 4];
+            let at = shape.coord(idx);
+            if shape.step(at, dir).is_none() || picked.contains(&(idx, dir.index() as u8)) {
+                continue;
+            }
+            picked.push((idx, dir.index() as u8));
+            self.links.push((at, dir, kind, from));
+        }
+        self
+    }
+
+    /// Faults `count` of the `q^k` copies of `variable`, choosing the
+    /// leaves of `T_v` deterministically from the seed. Returns the
+    /// faulted leaf indices (sorted) for assertions and reporting.
+    pub fn fault_variable_copies(
+        &mut self,
+        hmos: &Hmos,
+        variable: u64,
+        count: u64,
+        kind: CopyFaultKind,
+        from: u64,
+    ) -> Vec<u64> {
+        let q = hmos.params().q;
+        let total = hmos.params().redundancy();
+        let mut leaves: Vec<u64> = Vec::new();
+        let mut ctr = 0u64;
+        while (leaves.len() as u64) < count.min(total) {
+            let leaf = mix(self.seed ^ 0xC0FF ^ variable.rotate_left(13) ^ ctr) % total;
+            ctr += 1;
+            if !leaves.contains(&leaf) {
+                leaves.push(leaf);
+            }
+        }
+        let shape = hmos.shape();
+        for &leaf in &leaves {
+            let addr = prasim_hmos::CopyAddr::from_leaf_index(variable, q, hmos.params().k, leaf);
+            let rc = hmos.resolve(&addr);
+            self.fault_cell_from(shape.index(rc.node), rc.slot, kind, from);
+        }
+        leaves.sort_unstable();
+        leaves
+    }
+
+    // -- queries ----------------------------------------------------------
+
+    /// Materializes the machine-fault mask in force at `pram_step`.
+    /// Memory-cell faults are not part of the mask; see
+    /// [`FaultPlan::cell_fault`].
+    pub fn mask_at(&self, shape: MeshShape, pram_step: u64) -> FaultMask {
+        let mut mask = FaultMask::new(shape).with_salt(mix(self.seed ^ pram_step));
+        for &(node, from) in &self.dead_nodes {
+            if pram_step >= from {
+                mask.kill_node(node);
+            }
+        }
+        for &(node, dir, kind, from) in &self.links {
+            if pram_step >= from {
+                match kind {
+                    LinkFaultKind::Severed => mask.sever_link(node, dir),
+                    LinkFaultKind::Lossy(pm) => mask.degrade_link(node, dir, pm),
+                }
+            }
+        }
+        mask
+    }
+
+    /// The fault affecting memory cell `(node_idx, slot)` at `pram_step`,
+    /// if any.
+    pub fn cell_fault(&self, node_idx: u32, slot: u64, pram_step: u64) -> Option<CopyFaultKind> {
+        if self.cells.is_empty() {
+            return None;
+        }
+        match self.cells.get(&(node_idx, slot)) {
+            Some(&(kind, from)) if pram_step >= from => Some(kind),
+            _ => None,
+        }
+    }
+
+    /// The deterministic garbage a corrupt cell returns: a value hashed
+    /// from `(seed, node, slot)` — distinct per cell — under a forged
+    /// timestamp far above any reachable logical clock.
+    pub fn garbage_for(&self, node_idx: u32, slot: u64) -> (u64, u64) {
+        let h = mix(self.seed ^ mix((node_idx as u64) << 32 ^ slot) ^ 0xBAD);
+        let value = h | 1 << 63; // keep garbage far from small real values
+        let ts = (1 << 40) + (h >> 24); // far above any real clock
+        (value, ts)
+    }
+
+    /// Number of dead-node faults in the plan (any activation step).
+    pub fn dead_node_faults(&self) -> u64 {
+        self.dead_nodes.len() as u64
+    }
+
+    /// Number of link faults in the plan (any activation step).
+    pub fn link_faults(&self) -> u64 {
+        self.links.len() as u64
+    }
+
+    /// Number of corrupted-copy faults in the plan.
+    pub fn corrupt_copy_faults(&self) -> u64 {
+        self.corrupt_copies
+    }
+
+    /// Number of frozen-copy faults in the plan.
+    pub fn frozen_copy_faults(&self) -> u64 {
+        self.frozen_copies
+    }
+
+    /// One-line human summary, e.g. `"2 dead, 3 links, 4 copies"`.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} dead, {} links, {} copies",
+            self.dead_nodes.len(),
+            self.links.len(),
+            self.cells.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prasim_hmos::HmosParams;
+
+    fn small_hmos() -> Hmos {
+        Hmos::new(HmosParams::new(3, 2, 256, 100).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn masks_respect_activation_steps() {
+        let shape = MeshShape::square(8);
+        let mut plan = FaultPlan::new(42);
+        plan.kill_node(Coord::new(1, 1));
+        plan.kill_node_from(Coord::new(2, 2), 3);
+        plan.sever_link_from(Coord::new(0, 0), Dir::East, 5);
+        let m0 = plan.mask_at(shape, 0);
+        assert!(m0.node_dead(shape.index(Coord::new(1, 1))));
+        assert!(!m0.node_dead(shape.index(Coord::new(2, 2))));
+        assert!(!m0.link_severed(0, Dir::East));
+        let m5 = plan.mask_at(shape, 5);
+        assert!(m5.node_dead(shape.index(Coord::new(2, 2))));
+        assert!(m5.link_severed(0, Dir::East));
+        assert_eq!(plan.dead_node_faults(), 2);
+        assert_eq!(plan.link_faults(), 1);
+    }
+
+    #[test]
+    fn random_builders_are_reproducible_and_distinct() {
+        let shape = MeshShape::square(16);
+        let build = |seed| {
+            let mut p = FaultPlan::new(seed);
+            p.random_dead_nodes(shape, 5, 0)
+                .random_severed_links(shape, 4, 0)
+                .random_lossy_links(shape, 3, 200, 2);
+            p.mask_at(shape, 2)
+        };
+        assert_eq!(build(7), build(7));
+        assert_ne!(build(7), build(8));
+        let m = build(7);
+        assert_eq!(m.dead_nodes(), 5);
+        assert!(!m.node_dead(0), "node (0,0) must be spared");
+    }
+
+    #[test]
+    fn copy_faults_hit_distinct_cells_of_the_variable() {
+        let hmos = small_hmos();
+        let mut plan = FaultPlan::new(9);
+        let leaves = plan.fault_variable_copies(&hmos, 17, 4, CopyFaultKind::Corrupt, 0);
+        assert_eq!(leaves.len(), 4);
+        assert_eq!(plan.corrupt_copy_faults(), 4);
+        // Every faulted cell maps back to one of the reported leaves.
+        let shape = hmos.shape();
+        let q = hmos.params().q;
+        let k = hmos.params().k;
+        for leaf in &leaves {
+            let rc = hmos.resolve(&prasim_hmos::CopyAddr::from_leaf_index(17, q, k, *leaf));
+            assert_eq!(
+                plan.cell_fault(shape.index(rc.node), rc.slot, 0),
+                Some(CopyFaultKind::Corrupt)
+            );
+        }
+        // Unfaulted variables are untouched.
+        for addr in hmos.copies_of(18) {
+            let rc = hmos.resolve(&addr);
+            assert_eq!(plan.cell_fault(shape.index(rc.node), rc.slot, 0), None);
+        }
+    }
+
+    #[test]
+    fn garbage_is_distinct_per_cell_and_high_ts() {
+        let plan = FaultPlan::new(3);
+        let (v1, t1) = plan.garbage_for(1, 10);
+        let (v2, t2) = plan.garbage_for(2, 10);
+        let (v3, _) = plan.garbage_for(1, 11);
+        assert_ne!(v1, v2);
+        assert_ne!(v1, v3);
+        assert!(t1 > 1 << 40 && t2 > 1 << 40);
+        assert_eq!(plan.garbage_for(1, 10), (v1, t1), "must be deterministic");
+    }
+
+    #[test]
+    fn cell_fault_activation() {
+        let mut plan = FaultPlan::new(0);
+        plan.fault_cell_from(3, 99, CopyFaultKind::Freeze, 4);
+        assert_eq!(plan.cell_fault(3, 99, 3), None);
+        assert_eq!(plan.cell_fault(3, 99, 4), Some(CopyFaultKind::Freeze));
+        assert_eq!(plan.frozen_copy_faults(), 1);
+    }
+}

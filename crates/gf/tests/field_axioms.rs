@@ -7,8 +7,7 @@ use proptest::prelude::*;
 const ORDERS: &[u64] = &[3, 4, 8, 9, 13, 27, 32, 49, 64, 81, 121, 125, 243, 256];
 
 fn field_and_elems() -> impl Strategy<Value = (u64, u64, u64, u64)> {
-    prop::sample::select(ORDERS)
-        .prop_flat_map(|q| (Just(q), 0..q, 0..q, 0..q))
+    prop::sample::select(ORDERS).prop_flat_map(|q| (Just(q), 0..q, 0..q, 0..q))
 }
 
 proptest! {

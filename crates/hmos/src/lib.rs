@@ -35,4 +35,4 @@ pub mod target;
 
 pub use params::{HmosError, HmosParams};
 pub use scheme::{CopyAddr, Hmos, PageInstance, ResolvedCopy};
-pub use target::TargetSpec;
+pub use target::{CopyReport, QuorumRead, TargetSpec};

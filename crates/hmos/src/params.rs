@@ -47,7 +47,11 @@ impl std::fmt::Display for HmosError {
             HmosError::BadK(k) => write!(f, "k = {k} must be ≥ 1"),
             HmosError::NotSquare(n) => write!(f, "mesh size {n} is not a perfect square"),
             HmosError::MemoryTooLarge(m) => write!(f, "memory size {m} overflows the construction"),
-            HmosError::LevelTooCrowded { level, pages, nodes } => write!(
+            HmosError::LevelTooCrowded {
+                level,
+                pages,
+                nodes,
+            } => write!(
                 f,
                 "level {level} needs {pages} pages but the mesh has only {nodes} nodes \
                  (α too large for this n, q, k)"
@@ -175,7 +179,9 @@ impl HmosParams {
     /// but the paper's `α < 2(1 - (k-1)/log_q n)` regime is violated and
     /// the protocol's congestion bounds degrade accordingly.
     pub fn crowded_levels(&self) -> Vec<u32> {
-        (1..=self.k).filter(|&i| self.pages_at(i) > self.n).collect()
+        (1..=self.k)
+            .filter(|&i| self.pages_at(i) > self.n)
+            .collect()
     }
 
     /// The paper's Eq. (1) constant: `|U_i| = c·n^{α/2^i}` with
@@ -224,8 +230,14 @@ mod tests {
 
     #[test]
     fn rejects_bad_q() {
-        assert!(matches!(HmosParams::with_d(2, 2, 1024, 4), Err(HmosError::BadQ(2))));
-        assert!(matches!(HmosParams::with_d(6, 2, 1024, 4), Err(HmosError::BadQ(6))));
+        assert!(matches!(
+            HmosParams::with_d(2, 2, 1024, 4),
+            Err(HmosError::BadQ(2))
+        ));
+        assert!(matches!(
+            HmosParams::with_d(6, 2, 1024, 4),
+            Err(HmosError::BadQ(6))
+        ));
         assert!(HmosParams::with_d(4, 2, 1024, 4).is_ok());
         assert!(HmosParams::with_d(5, 1, 1024, 3).is_ok());
     }

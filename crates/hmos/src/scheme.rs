@@ -326,10 +326,7 @@ mod tests {
                     "child {ci} of level-2 page {pi} escapes parent"
                 );
                 // The child's module must be an input of the parent's.
-                assert!(h
-                    .graph(1)
-                    .neighbors(child.module)
-                    .contains(&parent.module));
+                assert!(h.graph(1).neighbors(child.module).contains(&parent.module));
             }
         }
     }

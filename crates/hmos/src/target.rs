@@ -24,6 +24,53 @@ pub struct TargetSpec {
     pub k: u32,
 }
 
+/// One copy's reply during a quorum read: which leaf of `T_v` it is and
+/// the `(timestamp, value)` pair it stores (possibly stale or corrupt).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyReport {
+    /// Leaf index in `[0, q^k)` (see [`TargetSpec::is_target`]).
+    pub leaf: u64,
+    /// Stored write timestamp.
+    pub ts: u64,
+    /// Stored value.
+    pub value: u64,
+}
+
+/// Outcome of [`TargetSpec::resolve_majority`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuorumRead {
+    /// A target set certifies `(ts, value)` and no reply carried a higher
+    /// timestamp: the clean case.
+    Value {
+        /// Certified timestamp.
+        ts: u64,
+        /// Certified value.
+        value: u64,
+    },
+    /// A target set certifies `(ts, value)`, but some *uncertified* reply
+    /// exhibited a higher timestamp — the value is trustworthy (quorum
+    /// intersection), the anomaly is reported rather than silent.
+    Tainted {
+        /// Certified timestamp.
+        ts: u64,
+        /// Certified value.
+        value: u64,
+    },
+    /// No `(timestamp, value)` pair is supported by a target set: the
+    /// read failed detectably.
+    Unrecoverable,
+}
+
+impl QuorumRead {
+    /// The value to return to the processor, if any.
+    pub fn value(&self) -> Option<u64> {
+        match self {
+            QuorumRead::Value { value, .. } | QuorumRead::Tainted { value, .. } => Some(*value),
+            QuorumRead::Unrecoverable => None,
+        }
+    }
+}
+
 impl TargetSpec {
     /// Majority threshold `⌊q/2⌋ + 1`.
     #[inline]
@@ -109,6 +156,73 @@ impl TargetSpec {
             .map(|(_, leaves)| leaves)
     }
 
+    /// Minimum number of faulty copies that can make the root
+    /// inaccessible: `⌈q/2⌉^k`. Any fault pattern touching *fewer*
+    /// leaves leaves at least one fully healthy target set, because
+    /// denying a node requires denying `q - ⌊q/2⌋ = ⌈q/2⌉` of its
+    /// children, recursively down to the leaves.
+    #[inline]
+    pub fn fault_tolerance(&self) -> u64 {
+        (self.q - self.q / 2).pow(self.k)
+    }
+
+    /// Minimum number of colluding identical replies that certify a
+    /// forged `(timestamp, value)` pair: the minimal target-set size
+    /// `(⌊q/2⌋+1)^k`. Below this, no fabricated pair can gather a
+    /// target set, so corrupt copies are detected rather than believed.
+    #[inline]
+    pub fn forgery_threshold(&self) -> u64 {
+        (self.majority() as u64).pow(self.k)
+    }
+
+    /// Resolves a hierarchical-majority (Definition 2) read from the
+    /// replies of the reached copies.
+    ///
+    /// Replies are grouped by identical `(timestamp, value)` pairs; a
+    /// pair is *certified* when its supporting leaves form a target set
+    /// of `T_v`. Because any two target sets intersect and writes install
+    /// the pair on a target set, the certified pair with the highest
+    /// timestamp is the last completed write. Replies that certify
+    /// nothing — stale, corrupted, or too few — can at worst *taint* the
+    /// result by exhibiting a timestamp above the certified one, which
+    /// callers surface as a detected (never silent) anomaly.
+    pub fn resolve_majority(&self, reports: &[CopyReport]) -> QuorumRead {
+        if reports.is_empty() {
+            return QuorumRead::Unrecoverable;
+        }
+        // Group identical (ts, value) pairs, keeping their support sets.
+        let mut groups: Vec<((u64, u64), Vec<u64>)> = Vec::new();
+        for r in reports {
+            match groups.iter_mut().find(|(p, _)| *p == (r.ts, r.value)) {
+                Some((_, leaves)) => leaves.push(r.leaf),
+                None => groups.push(((r.ts, r.value), vec![r.leaf])),
+            }
+        }
+        // Try pairs freshest-first; the first certified pair wins.
+        groups.sort_by_key(|g| std::cmp::Reverse(g.0));
+        let max_ts_seen = groups[0].0 .0;
+        for ((ts, value), leaves) in &groups {
+            // Cheap lower bound before the tree walk.
+            if (leaves.len() as u64) < self.forgery_threshold() {
+                continue;
+            }
+            if self.is_target(leaves) {
+                return if *ts == max_ts_seen {
+                    QuorumRead::Value {
+                        ts: *ts,
+                        value: *value,
+                    }
+                } else {
+                    QuorumRead::Tainted {
+                        ts: *ts,
+                        value: *value,
+                    }
+                };
+            }
+        }
+        QuorumRead::Unrecoverable
+    }
+
     fn extract_rec<A, P>(
         &self,
         depth: u32,
@@ -175,7 +289,11 @@ mod tests {
                 let set = s
                     .extract_minimal(ext, |_| true, |_| 0)
                     .expect("full availability must yield a target set");
-                assert_eq!(set.len() as u64, s.minimal_size(ext), "q={q} k={k} ext={ext}");
+                assert_eq!(
+                    set.len() as u64,
+                    s.minimal_size(ext),
+                    "q={q} k={k} ext={ext}"
+                );
                 assert!(s.is_level_target(&set, ext));
                 // A minimal level-i target set contains a target set
                 // (paper, Section 3.2).
@@ -231,10 +349,15 @@ mod tests {
             let mut sets = Vec::new();
             for seed in 0..40u64 {
                 let set = s
-                    .extract_minimal(s.k, |_| true, |l| {
-                        l.wrapping_mul(0x9E3779B97F4A7C15 ^ seed.wrapping_mul(0xBF58476D1CE4E5B9))
-                            >> 32
-                    })
+                    .extract_minimal(
+                        s.k,
+                        |_| true,
+                        |l| {
+                            l.wrapping_mul(
+                                0x9E3779B97F4A7C15 ^ seed.wrapping_mul(0xBF58476D1CE4E5B9),
+                            ) >> 32
+                        },
+                    )
                     .unwrap();
                 sets.push(set);
             }
@@ -263,6 +386,210 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// All leaves reporting the same pair.
+    fn unanimous(s: &TargetSpec, ts: u64, value: u64) -> Vec<CopyReport> {
+        (0..s.num_leaves())
+            .map(|leaf| CopyReport { leaf, ts, value })
+            .collect()
+    }
+
+    /// A smallest leaf set whose loss denies root access, built by
+    /// recursively denying `⌈q/2⌉` children.
+    fn destroying_set(s: &TargetSpec) -> Vec<u64> {
+        fn rec(s: &TargetSpec, depth: u32, prefix: u64, out: &mut Vec<u64>) {
+            if depth == s.k {
+                out.push(prefix);
+                return;
+            }
+            let stride = s.q.pow(depth);
+            for c in 0..(s.q - s.q / 2) {
+                rec(s, depth + 1, prefix + c * stride, out);
+            }
+        }
+        let mut out = Vec::new();
+        rec(s, 0, 0, &mut out);
+        out
+    }
+
+    #[test]
+    fn tolerance_and_forgery_thresholds() {
+        for (q, k, tol, forge) in [
+            (3u64, 1u32, 2u64, 2u64),
+            (3, 2, 4, 4),
+            (3, 3, 8, 8),
+            (4, 2, 4, 9),
+            (5, 2, 9, 9),
+        ] {
+            let s = TargetSpec { q, k };
+            assert_eq!(s.fault_tolerance(), tol, "q={q} k={k}");
+            assert_eq!(s.forgery_threshold(), forge, "q={q} k={k}");
+            // The recursive destroying set realizes the bound exactly.
+            let destroy = destroying_set(&s);
+            assert_eq!(destroy.len() as u64, tol);
+            assert!(s
+                .extract_minimal(s.k, |l| !destroy.contains(&l), |_| 0)
+                .is_none());
+            // One fault fewer always leaves a healthy target set.
+            for spare in 0..destroy.len() {
+                let partial: Vec<u64> = destroy
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != spare)
+                    .map(|(_, &l)| l)
+                    .collect();
+                assert!(
+                    s.extract_minimal(s.k, |l| !partial.contains(&l), |_| 0)
+                        .is_some(),
+                    "q={q} k={k}: tolerance bound not tight"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unanimous_reports_certify() {
+        let s = TargetSpec { q: 3, k: 2 };
+        assert_eq!(
+            s.resolve_majority(&unanimous(&s, 7, 42)),
+            QuorumRead::Value { ts: 7, value: 42 }
+        );
+        assert_eq!(s.resolve_majority(&[]), QuorumRead::Unrecoverable);
+    }
+
+    #[test]
+    fn corruption_below_tolerance_returns_true_value() {
+        // Corrupt f < ⌈q/2⌉^k copies with pairwise distinct garbage and
+        // forged high timestamps: the true pair stays certified. Missing
+        // (unreached) copies below the same bound keep it certified too.
+        for (q, k) in [(3u64, 2u32), (4, 2), (5, 2), (3, 3)] {
+            let s = TargetSpec { q, k };
+            let f = (s.fault_tolerance() - 1) as usize;
+            for variant in 0..3u64 {
+                let mut reports = unanimous(&s, 10, 1000);
+                for (i, r) in reports.iter_mut().enumerate().take(f) {
+                    // Each corrupt copy forges a *distinct* high pair.
+                    r.ts = 900 + variant * 50 + i as u64;
+                    r.value = 31_337 + i as u64;
+                }
+                match s.resolve_majority(&reports) {
+                    QuorumRead::Tainted {
+                        ts: 10,
+                        value: 1000,
+                    } if f > 0 => {}
+                    QuorumRead::Value {
+                        ts: 10,
+                        value: 1000,
+                    } if f == 0 => {}
+                    other => panic!("q={q} k={k}: got {other:?}"),
+                }
+                // Same bound for missing replies instead of corrupt ones.
+                let reached = unanimous(&s, 10, 1000).split_off(f);
+                assert_eq!(
+                    s.resolve_majority(&reached),
+                    QuorumRead::Value {
+                        ts: 10,
+                        value: 1000
+                    }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn losing_a_destroying_set_is_detected_not_silent() {
+        // At the tolerance bound the read may fail, but it must fail
+        // *detectably*: corrupt copies disagree, so nothing certifies.
+        let s = TargetSpec { q: 3, k: 2 };
+        let destroy = destroying_set(&s);
+        let mut reports = unanimous(&s, 10, 1000);
+        reports.retain(|r| !destroy.contains(&r.leaf));
+        for &leaf in &destroy {
+            reports.push(CopyReport {
+                leaf,
+                ts: 999,
+                value: 666 + leaf,
+            });
+        }
+        assert_eq!(s.resolve_majority(&reports), QuorumRead::Unrecoverable);
+    }
+
+    #[test]
+    fn forgery_needs_a_full_target_set() {
+        // Identical colluding fakes on a minimal target set do certify —
+        // documenting that forgery_threshold() is tight — while the same
+        // number of fakes minus one leaf never does.
+        let s = TargetSpec { q: 3, k: 2 };
+        let quorum = s.extract_minimal(s.k, |_| true, |_| 0).unwrap();
+        assert_eq!(quorum.len() as u64, s.forgery_threshold());
+        let mut reports: Vec<CopyReport> = quorum
+            .iter()
+            .map(|&leaf| CopyReport {
+                leaf,
+                ts: 99,
+                value: 7,
+            })
+            .collect();
+        assert_eq!(
+            s.resolve_majority(&reports),
+            QuorumRead::Value { ts: 99, value: 7 }
+        );
+        reports.pop();
+        assert_eq!(s.resolve_majority(&reports), QuorumRead::Unrecoverable);
+    }
+
+    #[test]
+    fn stale_minority_is_outvoted() {
+        // A minority of stale copies (older ts) must not mask the newer
+        // certified pair, and a stale *majority* target set loses to a
+        // fresher certified one (freshest-first resolution).
+        let s = TargetSpec { q: 3, k: 1 };
+        // Leaves {0,1} fresh, {2} stale: fresh pair certified cleanly.
+        let reports = [
+            CopyReport {
+                leaf: 0,
+                ts: 5,
+                value: 50,
+            },
+            CopyReport {
+                leaf: 1,
+                ts: 5,
+                value: 50,
+            },
+            CopyReport {
+                leaf: 2,
+                ts: 3,
+                value: 30,
+            },
+        ];
+        assert_eq!(
+            s.resolve_majority(&reports),
+            QuorumRead::Value { ts: 5, value: 50 }
+        );
+        // Both {0,1} (fresh) and {1,2}∪{0} (stale) are target sets; the
+        // freshest certified pair must win.
+        let overlapping = [
+            CopyReport {
+                leaf: 0,
+                ts: 3,
+                value: 30,
+            },
+            CopyReport {
+                leaf: 1,
+                ts: 5,
+                value: 50,
+            },
+            CopyReport {
+                leaf: 2,
+                ts: 5,
+                value: 50,
+            },
+        ];
+        assert_eq!(
+            s.resolve_majority(&overlapping),
+            QuorumRead::Value { ts: 5, value: 50 }
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! packet id. Queues are unbounded; the maximum observed queue length is
 //! reported in [`EngineStats`] as the buffer-space certificate.
 
+use crate::fault::FaultMask;
 use crate::region::Rect;
 use crate::topology::{Coord, Dir, MeshShape};
 use crate::trace::LinkTrace;
@@ -42,6 +43,10 @@ pub struct EngineStats {
     pub total_hops: u64,
     /// Largest per-node resident queue observed.
     pub max_queue: usize,
+    /// Packets lost to injected faults: injected at or addressed to dead
+    /// nodes, lost on lossy links, or stuck with an exhausted detour
+    /// budget. Always 0 without a [`FaultMask`].
+    pub dropped: u64,
 }
 
 /// Errors from an engine run.
@@ -72,19 +77,35 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// A resident packet plus its fault-detour bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct Flight {
+    pkt: Packet,
+    /// Non-improving hops taken so far to get around faults.
+    detours: u32,
+    /// Once `detours` reaches this, the packet may only make progress;
+    /// if it cannot, it is dropped.
+    budget: u32,
+    /// Direction of the previous hop; detours avoid immediately undoing
+    /// it, which would otherwise oscillate in front of a blocked wall.
+    last_dir: Option<Dir>,
+}
+
 /// The packet engine. Inject packets, then [`Engine::run`]; delivered
 /// packets are collected per destination node.
 #[derive(Debug)]
 pub struct Engine {
     shape: MeshShape,
     /// Per-node resident packets (waiting to move or to be consumed).
-    resident: Vec<Vec<Packet>>,
+    resident: Vec<Vec<Flight>>,
     /// Delivered packets with their destination node index.
     delivered: Vec<(u32, Packet)>,
     in_flight: u64,
     stats: EngineStats,
     /// Optional per-link traversal recording (see [`crate::trace`]).
     trace: Option<LinkTrace>,
+    /// Broken nodes and links for this run, if any.
+    faults: Option<FaultMask>,
 }
 
 impl Engine {
@@ -97,6 +118,7 @@ impl Engine {
             shape,
             stats: EngineStats::default(),
             trace: None,
+            faults: None,
         }
     }
 
@@ -104,6 +126,20 @@ impl Engine {
     pub fn with_trace(mut self) -> Self {
         self.trace = Some(LinkTrace::new(self.shape));
         self
+    }
+
+    /// Installs a fault mask for this run. Must be called before any
+    /// packet is injected so dead-endpoint drops are accounted uniformly.
+    pub fn with_faults(mut self, mask: FaultMask) -> Self {
+        debug_assert_eq!(mask.shape(), self.shape, "fault mask shape mismatch");
+        debug_assert_eq!(self.in_flight, 0, "install faults before injecting");
+        self.faults = Some(mask);
+        self
+    }
+
+    /// The installed fault mask, if any.
+    pub fn faults(&self) -> Option<&FaultMask> {
+        self.faults.as_ref()
     }
 
     /// The recorded trace, if tracing was enabled.
@@ -118,12 +154,29 @@ impl Engine {
     }
 
     /// Places a packet at `src`. Both `src` and the packet destination
-    /// must lie inside the packet's bounds.
+    /// must lie inside the packet's bounds. With a fault mask installed,
+    /// packets originating at or addressed to dead nodes are dropped on
+    /// the spot.
     pub fn inject(&mut self, src: Coord, pkt: Packet) {
         debug_assert!(pkt.bounds.contains(src), "source outside bounds");
         debug_assert!(pkt.bounds.contains(pkt.dest), "destination outside bounds");
+        if let Some(mask) = &self.faults {
+            if mask.node_dead(self.shape.index(src)) || mask.node_dead(self.shape.index(pkt.dest)) {
+                self.stats.dropped += 1;
+                return;
+            }
+        }
+        // Detours around faults may not exceed twice the bounding-box
+        // perimeter — enough to round any blocked region, small enough to
+        // guarantee termination.
+        let budget = 2 * (pkt.bounds.rows + pkt.bounds.cols) + 8;
         self.in_flight += 1;
-        self.resident[self.shape.index(src) as usize].push(pkt);
+        self.resident[self.shape.index(src) as usize].push(Flight {
+            pkt,
+            detours: 0,
+            budget,
+            last_dir: None,
+        });
     }
 
     /// Packets not yet delivered.
@@ -178,14 +231,88 @@ impl Engine {
         }
     }
 
+    /// The direction a packet wants to leave `here` by, together with
+    /// whether that hop is a detour (does not reduce the distance to the
+    /// destination). `None` means the packet is stuck and must be
+    /// dropped. Without faults this is exactly greedy XY.
+    fn choose_dir(&self, here: Coord, fl: &Flight) -> Option<(Dir, bool)> {
+        let greedy = Self::next_dir(here, fl.pkt.dest)
+            .expect("resident packet at destination should have been absorbed");
+        let mask = match &self.faults {
+            Some(m) if !m.is_empty() => m,
+            _ => return Some((greedy, false)),
+        };
+        let idx = self.shape.index(here);
+        let dist = here.manhattan(fl.pkt.dest);
+        // Candidates in deterministic preference order: the greedy XY
+        // direction, then any other improving direction, then the rest.
+        let mut order: [Option<Dir>; 4] = [Some(greedy), None, None, None];
+        let mut n = 1;
+        for improving_pass in [true, false] {
+            for d in Dir::ALL {
+                if d == greedy {
+                    continue;
+                }
+                let improves = self
+                    .shape
+                    .step(here, d)
+                    .is_some_and(|c| c.manhattan(fl.pkt.dest) < dist);
+                if improves == improving_pass {
+                    order[n] = Some(d);
+                    n += 1;
+                }
+            }
+        }
+        let usable = |dir: Dir| -> Option<(Dir, bool)> {
+            let next = self.shape.step(here, dir)?;
+            if !fl.pkt.bounds.contains(next) {
+                return None;
+            }
+            if mask.link_severed(idx, dir) {
+                return None;
+            }
+            // Never enter a dead node — except the destination itself,
+            // where the packet is then dropped on arrival.
+            if mask.node_dead(self.shape.index(next)) && next != fl.pkt.dest {
+                return None;
+            }
+            let improves = next.manhattan(fl.pkt.dest) < dist;
+            if !improves && fl.detours >= fl.budget {
+                return None;
+            }
+            Some((dir, !improves))
+        };
+        // Refusing to undo the previous hop keeps detours walking along a
+        // blocked wall instead of bouncing in place; reversal stays
+        // available as a dead-end escape of last resort.
+        let reverse = fl.last_dir.map(Dir::opposite);
+        if let Some(choice) = order
+            .into_iter()
+            .flatten()
+            .filter(|d| Some(*d) != reverse)
+            .find_map(usable)
+        {
+            return Some(choice);
+        }
+        reverse.and_then(usable)
+    }
+
     fn absorb_arrivals(&mut self) {
         for idx in 0..self.resident.len() {
             let here = self.shape.coord(idx as u32);
+            let dead_here = self
+                .faults
+                .as_ref()
+                .is_some_and(|m| m.node_dead(idx as u32));
             let mut i = 0;
             while i < self.resident[idx].len() {
-                if self.resident[idx][i].dest == here {
-                    let pkt = self.resident[idx].swap_remove(i);
-                    self.delivered.push((idx as u32, pkt));
+                if dead_here {
+                    self.resident[idx].swap_remove(i);
+                    self.in_flight -= 1;
+                    self.stats.dropped += 1;
+                } else if self.resident[idx][i].pkt.dest == here {
+                    let fl = self.resident[idx].swap_remove(i);
+                    self.delivered.push((idx as u32, fl.pkt));
                     self.in_flight -= 1;
                     self.stats.delivered += 1;
                 } else {
@@ -196,50 +323,79 @@ impl Engine {
     }
 
     /// One synchronous step: every node forwards at most one packet per
-    /// outgoing link; arrivals at destinations are absorbed.
+    /// outgoing link; arrivals at destinations are absorbed. Faulty
+    /// components divert, delay or destroy packets as described on
+    /// [`FaultMask`].
     fn step(&mut self) {
-        let mut moves: Vec<(u32, Packet)> = Vec::new();
+        let mut moves: Vec<(u32, Flight)> = Vec::new();
         for idx in 0..self.resident.len() {
             if self.resident[idx].is_empty() {
                 continue;
             }
             let here = self.shape.coord(idx as u32);
             // Pick, per direction, the farthest-first packet.
-            let mut best: [Option<(u32, u64, usize)>; 4] = [None; 4]; // (dist, id, pos)
-            for (pos, pkt) in self.resident[idx].iter().enumerate() {
-                let dir = Self::next_dir(here, pkt.dest)
-                    .expect("resident packet at destination should have been absorbed");
-                let d = dir.index();
-                let dist = here.manhattan(pkt.dest);
-                let better = match best[d] {
-                    None => true,
-                    Some((bd, bid, _)) => dist > bd || (dist == bd && pkt.id < bid),
-                };
-                if better {
-                    best[d] = Some((dist, pkt.id, pos));
+            let mut best: [Option<(u32, u64, usize, bool)>; 4] = [None; 4]; // (dist, id, pos, detour)
+            let mut stuck: Vec<usize> = Vec::new();
+            for (pos, fl) in self.resident[idx].iter().enumerate() {
+                match self.choose_dir(here, fl) {
+                    Some((dir, detour)) => {
+                        let d = dir.index();
+                        let dist = here.manhattan(fl.pkt.dest);
+                        let better = match best[d] {
+                            None => true,
+                            Some((bd, bid, _, _)) => dist > bd || (dist == bd && fl.pkt.id < bid),
+                        };
+                        if better {
+                            best[d] = Some((dist, fl.pkt.id, pos, detour));
+                        }
+                    }
+                    None => stuck.push(pos),
                 }
             }
-            // Remove winners in descending position order to keep indices
-            // valid, then record their moves.
-            let mut winners: Vec<usize> = best.iter().flatten().map(|&(_, _, p)| p).collect();
-            winners.sort_unstable_by(|a, b| b.cmp(a));
-            for pos in winners {
-                let pkt = self.resident[idx].swap_remove(pos);
-                let dir = Self::next_dir(here, pkt.dest).unwrap();
+            // Remove stuck packets and winners in descending position
+            // order to keep indices valid, then record the moves.
+            let mut removals: Vec<(usize, Option<(Dir, bool)>)> =
+                stuck.into_iter().map(|p| (p, None)).collect();
+            for (d, slot) in best.iter().enumerate() {
+                if let Some((_, _, pos, detour)) = *slot {
+                    removals.push((pos, Some((Dir::ALL[d], detour))));
+                }
+            }
+            removals.sort_unstable_by_key(|r| std::cmp::Reverse(r.0));
+            for (pos, action) in removals {
+                let mut fl = self.resident[idx].swap_remove(pos);
+                let Some((dir, detour)) = action else {
+                    // Every usable link is gone: the packet dies here.
+                    self.in_flight -= 1;
+                    self.stats.dropped += 1;
+                    continue;
+                };
                 if let Some(trace) = self.trace.as_mut() {
                     trace.record(here, dir);
                 }
+                self.stats.total_hops += 1;
+                let lost = self.faults.as_ref().is_some_and(|m| {
+                    m.traversal_lost(self.stats.steps, idx as u32, dir, fl.pkt.id)
+                });
+                if lost {
+                    self.in_flight -= 1;
+                    self.stats.dropped += 1;
+                    continue;
+                }
+                if detour {
+                    fl.detours += 1;
+                }
+                fl.last_dir = Some(dir);
                 let next = self
                     .shape
                     .step(here, dir)
                     .expect("XY routing within bounds cannot leave the mesh");
-                debug_assert!(pkt.bounds.contains(next), "packet left its bounds");
-                moves.push((self.shape.index(next), pkt));
+                debug_assert!(fl.pkt.bounds.contains(next), "packet left its bounds");
+                moves.push((self.shape.index(next), fl));
             }
         }
-        self.stats.total_hops += moves.len() as u64;
-        for (node, pkt) in moves {
-            self.resident[node as usize].push(pkt);
+        for (node, fl) in moves {
+            self.resident[node as usize].push(fl);
         }
         self.stats.steps += 1;
         for q in &self.resident {
@@ -352,11 +508,7 @@ mod tests {
         let run_in = |region: Rect, alone: bool| -> u64 {
             let mut e = Engine::new(shape);
             let mut id = 0;
-            let regions: Vec<Rect> = if alone {
-                vec![region]
-            } else {
-                vec![top, bot]
-            };
+            let regions: Vec<Rect> = if alone { vec![region] } else { vec![top, bot] };
             for reg in regions {
                 for c in reg.coords() {
                     // everyone sends to the region corner
@@ -382,6 +534,142 @@ mod tests {
         );
         let err = e.run(3).unwrap_err();
         assert!(matches!(err, EngineError::StepBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn dead_destination_drops_packet() {
+        let shape = MeshShape::square(8);
+        let mut mask = FaultMask::new(shape);
+        mask.kill_node(Coord::new(7, 7));
+        let mut e = Engine::new(shape).with_faults(mask);
+        e.inject(
+            Coord::new(0, 0),
+            mk(0, Coord::new(7, 7), full_bounds(shape)),
+        );
+        e.inject(
+            Coord::new(0, 0),
+            mk(1, Coord::new(3, 3), full_bounds(shape)),
+        );
+        let stats = e.run(1000).unwrap();
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(e.take_delivered().len(), 1);
+    }
+
+    #[test]
+    fn dead_source_drops_packet() {
+        let shape = MeshShape::square(8);
+        let mut mask = FaultMask::new(shape);
+        mask.kill_node(Coord::new(2, 2));
+        let mut e = Engine::new(shape).with_faults(mask);
+        e.inject(
+            Coord::new(2, 2),
+            mk(0, Coord::new(5, 5), full_bounds(shape)),
+        );
+        let stats = e.run(1000).unwrap();
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(stats.dropped, 1);
+    }
+
+    #[test]
+    fn severed_link_is_routed_around() {
+        let shape = MeshShape::square(8);
+        let mut mask = FaultMask::new(shape);
+        // Cut the greedy XY path (0,0) -> (0,4) at its very first link.
+        mask.sever_link(Coord::new(0, 0), Dir::East);
+        let mut e = Engine::new(shape).with_faults(mask);
+        e.inject(
+            Coord::new(0, 0),
+            mk(0, Coord::new(0, 4), full_bounds(shape)),
+        );
+        let stats = e.run(1000).unwrap();
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.dropped, 0);
+        // One detour south, four east, one back north: 4 + 2 hops.
+        assert_eq!(stats.total_hops, 6);
+    }
+
+    #[test]
+    fn dead_region_is_routed_around() {
+        // Kill a full column segment blocking the straight path; packets
+        // must go around it.
+        let shape = MeshShape::square(8);
+        let mut mask = FaultMask::new(shape);
+        for r in 0..5 {
+            mask.kill_node(Coord::new(r, 3));
+        }
+        let mut e = Engine::new(shape).with_faults(mask);
+        e.inject(
+            Coord::new(2, 0),
+            mk(0, Coord::new(2, 7), full_bounds(shape)),
+        );
+        let stats = e.run(1000).unwrap();
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn fully_cut_off_packet_is_dropped_not_stuck() {
+        // Isolate the corner source by severing both of its links; the
+        // run must terminate with a drop rather than exhaust the step
+        // budget on a stuck packet.
+        let shape = MeshShape::square(4);
+        let mut mask = FaultMask::new(shape);
+        mask.sever_link(Coord::new(0, 0), Dir::East);
+        mask.sever_link(Coord::new(0, 0), Dir::South);
+        let mut e = Engine::new(shape).with_faults(mask);
+        e.inject(
+            Coord::new(0, 0),
+            mk(0, Coord::new(3, 3), full_bounds(shape)),
+        );
+        let stats = e.run(1000).unwrap();
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(e.in_flight(), 0);
+    }
+
+    #[test]
+    fn lossy_link_drops_deterministically() {
+        let shape = MeshShape::square(8);
+        let run = |salt: u64| {
+            let mut mask = FaultMask::new(shape).with_salt(salt);
+            // Every east-bound hop in row 0 is 50% lossy.
+            for c in 0..7 {
+                mask.degrade_link(Coord::new(0, c), Dir::East, 500);
+            }
+            let mut e = Engine::new(shape).with_faults(mask);
+            for i in 0..64u64 {
+                e.inject(
+                    Coord::new(0, 0),
+                    mk(i, Coord::new(0, 7), full_bounds(shape)),
+                );
+            }
+            e.run(10_000).unwrap()
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a, b, "same salt must lose the same packets");
+        assert_eq!(a.delivered + a.dropped, 64);
+        assert!(a.dropped > 0, "a 50% lossy 7-hop path should lose packets");
+    }
+
+    #[test]
+    fn faultless_mask_changes_nothing() {
+        let shape = MeshShape::square(8);
+        let route = |faults: bool| {
+            let mut e = Engine::new(shape);
+            if faults {
+                e = e.with_faults(FaultMask::new(shape));
+            }
+            let b = full_bounds(shape);
+            for i in 0..32u64 {
+                let src = Coord::new((i % 8) as u32, (i / 8) as u32);
+                let dst = Coord::new((i / 8) as u32, (i % 8) as u32);
+                e.inject(src, mk(i, dst, b));
+            }
+            e.run(10_000).unwrap()
+        };
+        assert_eq!(route(false), route(true));
     }
 
     #[test]

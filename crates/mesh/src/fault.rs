@@ -1,0 +1,232 @@
+//! Static fault masks for the mesh: dead nodes, severed links and lossy
+//! links.
+//!
+//! A [`FaultMask`] describes which components of the machine are broken
+//! *during one engine run*. The engine consults it on injection, on every
+//! forwarding decision and on arrival:
+//!
+//! - a **dead node** neither originates, forwards nor receives packets —
+//!   anything injected at it, routed through it or addressed to it is
+//!   dropped (and counted in `EngineStats::dropped`);
+//! - a **severed link** carries no packets at all; greedy XY routing
+//!   detours around it within the packet's bounding rectangle, giving up
+//!   (dropping) when a bounded detour budget is exhausted;
+//! - a **lossy link** carries packets but drops each traversal with a
+//!   fixed per-mille probability, decided by a deterministic hash of
+//!   `(salt, step, link, packet id)` so that identical runs lose identical
+//!   packets.
+//!
+//! Links are undirected: severing or degrading `(node, dir)` affects both
+//! traversal directions. Time-varying fault schedules are layered on top
+//! by `prasim-fault`, which materializes one mask per PRAM step.
+
+use crate::topology::{Coord, Dir, MeshShape};
+use std::collections::HashMap;
+
+/// Deterministic per-traversal loss decision hash (SplitMix64 finalizer).
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Which mesh components are broken during one engine run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultMask {
+    shape: MeshShape,
+    /// Per-node liveness; `true` = dead.
+    dead: Vec<bool>,
+    /// Per-(node, dir) severed flags, stored for both endpoints.
+    severed: HashMap<(u32, u8), ()>,
+    /// Per-(node, dir) loss rate in per-mille, stored for both endpoints.
+    lossy: HashMap<(u32, u8), u16>,
+    /// Salt for the deterministic loss hash.
+    salt: u64,
+    dead_count: u64,
+    severed_count: u64,
+    lossy_count: u64,
+}
+
+impl FaultMask {
+    /// A mask with no faults.
+    pub fn new(shape: MeshShape) -> Self {
+        FaultMask {
+            dead: vec![false; shape.nodes() as usize],
+            severed: HashMap::new(),
+            lossy: HashMap::new(),
+            salt: 0,
+            dead_count: 0,
+            severed_count: 0,
+            lossy_count: 0,
+            shape,
+        }
+    }
+
+    /// Sets the salt mixed into every loss decision.
+    pub fn with_salt(mut self, salt: u64) -> Self {
+        self.salt = salt;
+        self
+    }
+
+    /// The mesh this mask applies to.
+    #[inline]
+    pub fn shape(&self) -> MeshShape {
+        self.shape
+    }
+
+    /// Marks a node dead.
+    pub fn kill_node(&mut self, at: Coord) {
+        let idx = self.shape.index(at) as usize;
+        if !self.dead[idx] {
+            self.dead[idx] = true;
+            self.dead_count += 1;
+        }
+    }
+
+    /// Severs the undirected link `(at, dir)`, if it exists.
+    pub fn sever_link(&mut self, at: Coord, dir: Dir) {
+        if let Some((a, b)) = self.endpoints(at, dir) {
+            if self.severed.insert(a, ()).is_none() {
+                self.severed_count += 1;
+            }
+            self.severed.insert(b, ());
+        }
+    }
+
+    /// Makes the undirected link `(at, dir)` drop each traversal with
+    /// probability `per_mille`/1000 (clamped to 1000).
+    pub fn degrade_link(&mut self, at: Coord, dir: Dir, per_mille: u16) {
+        let per_mille = per_mille.min(1000);
+        if per_mille == 0 {
+            return;
+        }
+        if let Some((a, b)) = self.endpoints(at, dir) {
+            if self.lossy.insert(a, per_mille).is_none() {
+                self.lossy_count += 1;
+            }
+            self.lossy.insert(b, per_mille);
+        }
+    }
+
+    /// Both directed keys of the undirected link `(at, dir)`, or `None`
+    /// for a border non-link.
+    fn endpoints(&self, at: Coord, dir: Dir) -> Option<((u32, u8), (u32, u8))> {
+        let next = self.shape.step(at, dir)?;
+        let back = dir.opposite();
+        Some((
+            (self.shape.index(at), dir.index() as u8),
+            (self.shape.index(next), back.index() as u8),
+        ))
+    }
+
+    /// Whether the node with this index is dead.
+    #[inline]
+    pub fn node_dead(&self, idx: u32) -> bool {
+        self.dead[idx as usize]
+    }
+
+    /// Whether the link out of `idx` in direction `dir` is severed.
+    #[inline]
+    pub fn link_severed(&self, idx: u32, dir: Dir) -> bool {
+        !self.severed.is_empty() && self.severed.contains_key(&(idx, dir.index() as u8))
+    }
+
+    /// Whether a traversal of `(idx, dir)` by packet `pkt_id` at engine
+    /// step `step` is lost. Deterministic in all arguments and the salt.
+    pub fn traversal_lost(&self, step: u64, idx: u32, dir: Dir, pkt_id: u64) -> bool {
+        if self.lossy.is_empty() {
+            return false;
+        }
+        match self.lossy.get(&(idx, dir.index() as u8)) {
+            None => false,
+            Some(&per_mille) => {
+                let h = mix(self.salt
+                    ^ mix(step)
+                    ^ mix((idx as u64) << 2 | dir.index() as u64).rotate_left(17)
+                    ^ mix(pkt_id).rotate_left(34));
+                (h % 1000) < per_mille as u64
+            }
+        }
+    }
+
+    /// Whether the mask contains no faults at all (fast-path check).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.dead_count == 0 && self.severed.is_empty() && self.lossy.is_empty()
+    }
+
+    /// Number of dead nodes.
+    pub fn dead_nodes(&self) -> u64 {
+        self.dead_count
+    }
+
+    /// Number of severed undirected links.
+    pub fn severed_links(&self) -> u64 {
+        self.severed_count
+    }
+
+    /// Number of lossy undirected links.
+    pub fn lossy_links(&self) -> u64 {
+        self.lossy_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sever_is_symmetric() {
+        let shape = MeshShape::square(4);
+        let mut m = FaultMask::new(shape);
+        m.sever_link(Coord::new(1, 1), Dir::East);
+        assert!(m.link_severed(shape.index(Coord::new(1, 1)), Dir::East));
+        assert!(m.link_severed(shape.index(Coord::new(1, 2)), Dir::West));
+        assert!(!m.link_severed(shape.index(Coord::new(1, 1)), Dir::West));
+        assert_eq!(m.severed_links(), 1);
+    }
+
+    #[test]
+    fn border_links_are_ignored() {
+        let shape = MeshShape::square(4);
+        let mut m = FaultMask::new(shape);
+        m.sever_link(Coord::new(0, 0), Dir::North);
+        m.degrade_link(Coord::new(0, 0), Dir::West, 500);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn loss_is_deterministic_and_rate_limited() {
+        let shape = MeshShape::square(4);
+        let mut m = FaultMask::new(shape).with_salt(7);
+        m.degrade_link(Coord::new(2, 2), Dir::South, 250);
+        let idx = shape.index(Coord::new(2, 2));
+        let mut losses = 0;
+        for step in 0..4000 {
+            let a = m.traversal_lost(step, idx, Dir::South, step * 3);
+            let b = m.traversal_lost(step, idx, Dir::South, step * 3);
+            assert_eq!(a, b);
+            if a {
+                losses += 1;
+            }
+        }
+        // 250‰ nominal; allow wide slack, but it must be neither 0 nor 1.
+        assert!(losses > 500 && losses < 1500, "losses = {losses}");
+        // Reverse direction of the same undirected link is also lossy.
+        let rev = shape.index(Coord::new(3, 2));
+        assert!(m.lossy.contains_key(&(rev, Dir::North.index() as u8)));
+        // Unrelated link is clean.
+        assert!(!m.traversal_lost(0, shape.index(Coord::new(0, 0)), Dir::East, 1));
+    }
+
+    #[test]
+    fn kill_node_counts_once() {
+        let shape = MeshShape::square(4);
+        let mut m = FaultMask::new(shape);
+        m.kill_node(Coord::new(3, 3));
+        m.kill_node(Coord::new(3, 3));
+        assert_eq!(m.dead_nodes(), 1);
+        assert!(m.node_dead(shape.index(Coord::new(3, 3))));
+        assert!(!m.is_empty());
+    }
+}

@@ -13,6 +13,8 @@
 //! - [`engine`]: the synchronous packet engine (greedy XY routing within
 //!   a bounding region, FIFO link queues with farthest-first priority,
 //!   step counting and congestion metrics).
+//! - [`fault`]: static fault masks — dead nodes, severed and lossy links —
+//!   consulted by the engine to divert or drop packets deterministically.
 
 //!
 //! # Example
@@ -35,11 +37,13 @@
 //! ```
 
 pub mod engine;
+pub mod fault;
 pub mod region;
 pub mod topology;
 pub mod trace;
 
 pub use engine::{Engine, EngineStats, Packet};
+pub use fault::FaultMask;
 pub use region::{Rect, Tessellation};
 pub use topology::{Coord, MeshShape};
 pub use trace::LinkTrace;

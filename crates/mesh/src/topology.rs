@@ -51,6 +51,17 @@ impl Dir {
             Dir::West => 3,
         }
     }
+
+    /// The reverse direction.
+    #[inline]
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::North => Dir::South,
+            Dir::South => Dir::North,
+            Dir::East => Dir::West,
+            Dir::West => Dir::East,
+        }
+    }
 }
 
 /// Shape of a rectangular mesh (the full machine is square, `s × s`, but

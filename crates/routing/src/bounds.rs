@@ -109,10 +109,7 @@ mod tests {
                 let c = shape.coord(s);
                 (
                     s,
-                    shape.index(prasim_mesh::topology::Coord {
-                        r: c.r,
-                        c: c.c + 4,
-                    }),
+                    shape.index(prasim_mesh::topology::Coord { r: c.r, c: c.c + 4 }),
                 )
             })
             .collect();
@@ -128,7 +125,10 @@ mod tests {
             let inst = RoutingInstance::random(shape, 2, seed);
             let lb = lower_bounds(&inst);
             let g = route_greedy(&inst, 1_000_000).unwrap();
-            assert!(g.total_steps >= lb.distance, "greedy beat the distance bound");
+            assert!(
+                g.total_steps >= lb.distance,
+                "greedy beat the distance bound"
+            );
             let f = route_flat(&inst, 1_000_000).unwrap();
             assert!(
                 f.total_steps >= lb.best().min(f.total_steps),

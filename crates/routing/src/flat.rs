@@ -19,7 +19,9 @@ use prasim_sortnet::snake::{snake_coord, snake_index};
 pub fn route_flat(inst: &RoutingInstance, max_steps: u64) -> Result<RoutingOutcome, EngineError> {
     let shape = inst.shape;
     let n = shape.nodes() as usize;
-    let h = (inst.pairs.len().div_ceil(n.max(1))).max(inst.l1() as usize).max(1);
+    let h = (inst.pairs.len().div_ceil(n.max(1)))
+        .max(inst.l1() as usize)
+        .max(1);
 
     // Snake-indexed per-node buffers of (dest snake key, packet index).
     let mut items: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];

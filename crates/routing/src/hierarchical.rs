@@ -59,14 +59,16 @@ pub fn route_hierarchical(
     max_steps: u64,
 ) -> Result<RoutingOutcome, HierError> {
     let shape = inst.shape;
-    let tess = Tessellation::new(Rect::full(shape), parts)
-        .ok_or(HierError::BadTessellation { parts })?;
+    let tess =
+        Tessellation::new(Rect::full(shape), parts).ok_or(HierError::BadTessellation { parts })?;
     let owner = node_parts(shape, &tess);
     let n = shape.nodes() as usize;
     let mut out = RoutingOutcome::default();
 
     // ---- Step 2: sort by destination submesh (key: part, then dest). --
-    let h = (inst.pairs.len().div_ceil(n.max(1))).max(inst.l1() as usize).max(1);
+    let h = (inst.pairs.len().div_ceil(n.max(1)))
+        .max(inst.l1() as usize)
+        .max(1);
     let mut items: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
     for (i, &(s, d)) in inst.pairs.iter().enumerate() {
         let sc = shape.coord(s);

@@ -10,9 +10,8 @@ use prasim_routing::problem::RoutingInstance;
 use proptest::prelude::*;
 
 fn arb_instance() -> impl Strategy<Value = RoutingInstance> {
-    (prop::sample::select(&[4u32, 8, 16]), 0u64..1000, 1u64..4).prop_map(|(side, seed, l1)| {
-        RoutingInstance::random(MeshShape::square(side), l1, seed)
-    })
+    (prop::sample::select(&[4u32, 8, 16]), 0u64..1000, 1u64..4)
+        .prop_map(|(side, seed, l1)| RoutingInstance::random(MeshShape::square(side), l1, seed))
 }
 
 proptest! {
@@ -27,7 +26,7 @@ proptest! {
         prop_assert_eq!(g.delivered, total);
         let f = route_flat(&inst, 10_000_000).unwrap();
         prop_assert_eq!(f.delivered, total);
-        let parts = (inst.shape.nodes() / 4).max(2).min(16);
+        let parts = (inst.shape.nodes() / 4).clamp(2, 16);
         let h = route_hierarchical(&inst, parts, 10_000_000).unwrap();
         prop_assert_eq!(h.delivered, 2 * total); // spread + final deliveries
     }

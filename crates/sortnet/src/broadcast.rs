@@ -84,14 +84,29 @@ mod tests {
     fn leader_value_propagates() {
         let mut items = vec![
             vec![
-                Item { group: 1, value: Some(10) },
-                Item { group: 1, value: None },
+                Item {
+                    group: 1,
+                    value: Some(10),
+                },
+                Item {
+                    group: 1,
+                    value: None,
+                },
             ],
             vec![
-                Item { group: 1, value: None },
-                Item { group: 2, value: Some(20) },
+                Item {
+                    group: 1,
+                    value: None,
+                },
+                Item {
+                    group: 2,
+                    value: Some(20),
+                },
             ],
-            vec![Item { group: 2, value: None }],
+            vec![Item {
+                group: 2,
+                value: None,
+            }],
             vec![],
         ];
         bcast(&mut items);
@@ -106,9 +121,18 @@ mod tests {
         // packet landed mid-segment after routing): the first item *with*
         // a value becomes the source for the remainder.
         let mut items = vec![
-            vec![Item { group: 5, value: None }],
-            vec![Item { group: 5, value: Some(7) }],
-            vec![Item { group: 5, value: None }],
+            vec![Item {
+                group: 5,
+                value: None,
+            }],
+            vec![Item {
+                group: 5,
+                value: Some(7),
+            }],
+            vec![Item {
+                group: 5,
+                value: None,
+            }],
             vec![],
         ];
         bcast(&mut items);
@@ -119,10 +143,22 @@ mod tests {
     #[test]
     fn groups_do_not_leak() {
         let mut items = vec![
-            vec![Item { group: 1, value: Some(1) }],
-            vec![Item { group: 2, value: None }],
-            vec![Item { group: 3, value: Some(3) }],
-            vec![Item { group: 3, value: None }],
+            vec![Item {
+                group: 1,
+                value: Some(1),
+            }],
+            vec![Item {
+                group: 2,
+                value: None,
+            }],
+            vec![Item {
+                group: 3,
+                value: Some(3),
+            }],
+            vec![Item {
+                group: 3,
+                value: None,
+            }],
         ];
         bcast(&mut items);
         assert_eq!(items[1][0].value, None);
@@ -131,9 +167,24 @@ mod tests {
 
     #[test]
     fn cost_scales_with_load() {
-        let mut small = vec![vec![Item { group: 0, value: Some(1) }]; 4];
+        let mut small = vec![
+            vec![Item {
+                group: 0,
+                value: Some(1)
+            }];
+            4
+        ];
         let c1 = bcast(&mut small);
-        let mut big = vec![vec![Item { group: 0, value: Some(1) }; 5]; 4];
+        let mut big = vec![
+            vec![
+                Item {
+                    group: 0,
+                    value: Some(1)
+                };
+                5
+            ];
+            4
+        ];
         let c5 = bcast(&mut big);
         assert_eq!(c5.steps, 5 * c1.steps);
     }

@@ -51,7 +51,7 @@ pub fn columnsort<T: Ord + Copy>(data: &mut [T], rows: u32, cols: u32, h: usize)
 fn pick_s(len: usize, cols: u32) -> Option<u32> {
     let mut best = None;
     let mut s = 2u32;
-    while cols % s == 0 && s as usize <= len {
+    while cols.is_multiple_of(s) && s as usize <= len {
         let r = len / s as usize;
         if r >= 2 * (s as usize - 1) * (s as usize - 1) {
             best = Some(s);

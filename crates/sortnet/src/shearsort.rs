@@ -61,12 +61,7 @@ impl SortCost {
 ///
 /// # Panics
 /// Panics if any buffer exceeds `h` keys or `items.len() != rows·cols`.
-pub fn shearsort<T: Ord + Copy>(
-    items: &mut [Vec<T>],
-    rows: u32,
-    cols: u32,
-    h: usize,
-) -> SortCost {
+pub fn shearsort<T: Ord + Copy>(items: &mut [Vec<T>], rows: u32, cols: u32, h: usize) -> SortCost {
     assert_eq!(items.len(), (rows as u64 * cols as u64) as usize);
     assert!(h >= 1);
     // Pad to exactly h slots per node with None (= +infinity).
@@ -217,7 +212,9 @@ mod tests {
             .map(|_| {
                 (0..h)
                     .map(|_| {
-                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
                         state >> 33
                     })
                     .collect()

@@ -22,13 +22,19 @@ pub fn snake_index(cols: u32, r: u32, c: u32) -> u32 {
 pub fn snake_coord(cols: u32, pos: u32) -> (u32, u32) {
     let r = pos / cols;
     let within = pos % cols;
-    let c = if r.is_multiple_of(2) { within } else { cols - 1 - within };
+    let c = if r.is_multiple_of(2) {
+        within
+    } else {
+        cols - 1 - within
+    };
     (r, c)
 }
 
 /// The snake positions forming geometric column `c`, ordered by row.
 pub fn column_positions(rows: u32, cols: u32, c: u32) -> Vec<usize> {
-    (0..rows).map(|r| snake_index(cols, r, c) as usize).collect()
+    (0..rows)
+        .map(|r| snake_index(cols, r, c) as usize)
+        .collect()
 }
 
 /// The snake positions forming geometric row `r` (a contiguous ascending

@@ -40,7 +40,10 @@ fn main() {
         .step(&PramStep::reads(&single_uniform))
         .unwrap()
         .total_steps;
-    let sa = single.step(&PramStep::reads(&single_adv)).unwrap().total_steps;
+    let sa = single
+        .step(&PramStep::reads(&single_adv))
+        .unwrap()
+        .total_steps;
     println!(
         "{:<18} {:>14} {:>14} {:>9.1}x",
         single.name(),
@@ -63,7 +66,10 @@ fn main() {
         .step(&PramStep::writes(&uniform, &uniform))
         .unwrap()
         .total_steps;
-    println!("{:<18} {:>14}   (write step: {} steps, c× amplification)", "", "", mw);
+    println!(
+        "{:<18} {:>14}   (write step: {} steps, c× amplification)",
+        "", "", mw
+    );
 
     let fu = flat.step(&PramStep::reads(&uniform)).unwrap().total_steps;
     let fa = flat.step(&PramStep::reads(&hmos_adv)).unwrap().total_steps;

@@ -19,8 +19,8 @@ use prasim::routing::problem::SplitMix64;
 
 fn main() {
     let m: u64 = 200; // list length
-    let mut sim = PramMeshSim::new(SimConfig::new(1024, (2 * m).max(100)))
-        .expect("valid configuration");
+    let mut sim =
+        PramMeshSim::new(SimConfig::new(1024, (2 * m).max(100))).expect("valid configuration");
     println!(
         "ranking a {m}-node linked list on a {}-processor machine ({} variables)",
         sim.config().n,
@@ -38,7 +38,11 @@ fn main() {
     let mut expect_rank = vec![0u64; m as usize];
     for w in 0..m as usize {
         let node = order[w] as usize;
-        succ[node] = if w + 1 < m as usize { order[w + 1] } else { order[w] };
+        succ[node] = if w + 1 < m as usize {
+            order[w + 1]
+        } else {
+            order[w]
+        };
         expect_rank[node] = m - 1 - w as u64;
     }
     let mut dist: Vec<u64> = (0..m as usize)
@@ -48,26 +52,40 @@ fn main() {
     let succ_vars: Vec<u64> = (0..m).map(|j| 2 * j).collect();
     let dist_vars: Vec<u64> = (0..m).map(|j| 2 * j + 1).collect();
     let mut total = 0u64;
-    total += sim.step(&PramStep::writes(&succ_vars, &succ)).unwrap().total_steps;
-    total += sim.step(&PramStep::writes(&dist_vars, &dist)).unwrap().total_steps;
+    total += sim
+        .step(&PramStep::writes(&succ_vars, &succ))
+        .unwrap()
+        .total_steps;
+    total += sim
+        .step(&PramStep::writes(&dist_vars, &dist))
+        .unwrap()
+        .total_steps;
 
     let rounds = (m as f64).log2().ceil() as u32 + 1;
     for round in 0..rounds {
-        let rs = step_crew(&mut sim, &PramStep::reads(
-            &succ.iter().map(|&sj| 2 * sj).collect::<Vec<_>>(),
-        ))
+        let rs = step_crew(
+            &mut sim,
+            &PramStep::reads(&succ.iter().map(|&sj| 2 * sj).collect::<Vec<_>>()),
+        )
         .unwrap();
-        let rd = step_crew(&mut sim, &PramStep::reads(
-            &succ.iter().map(|&sj| 2 * sj + 1).collect::<Vec<_>>(),
-        ))
+        let rd = step_crew(
+            &mut sim,
+            &PramStep::reads(&succ.iter().map(|&sj| 2 * sj + 1).collect::<Vec<_>>()),
+        )
         .unwrap();
         total += rs.total_steps + rd.total_steps;
         for j in 0..m as usize {
             dist[j] += rd.reads[j].unwrap();
             succ[j] = rs.reads[j].unwrap();
         }
-        total += sim.step(&PramStep::writes(&succ_vars, &succ)).unwrap().total_steps;
-        total += sim.step(&PramStep::writes(&dist_vars, &dist)).unwrap().total_steps;
+        total += sim
+            .step(&PramStep::writes(&succ_vars, &succ))
+            .unwrap()
+            .total_steps;
+        total += sim
+            .step(&PramStep::writes(&dist_vars, &dist))
+            .unwrap()
+            .total_steps;
         println!(
             "round {round}: combine {} + erew {} + fanout {} steps (concurrent reads combined)",
             rs.combine_steps, rs.erew.total_steps, rs.fanout_steps

@@ -23,7 +23,10 @@ fn main() {
     // Initialize a[i] = i + 1 (shared variables 0..m).
     let vars: Vec<u64> = (0..m).collect();
     let init: Vec<u64> = (1..=m).collect();
-    let mut total_steps = sim.step(&PramStep::writes(&vars, &init)).unwrap().total_steps;
+    let mut total_steps = sim
+        .step(&PramStep::writes(&vars, &init))
+        .unwrap()
+        .total_steps;
 
     // Hillis–Steele: for each stride 2^j, a[i] += a[i - 2^j].
     let mut pram_rounds = 1u64; // the init step

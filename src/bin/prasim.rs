@@ -4,14 +4,26 @@
 //! prasim simulate  --n 1024 --memory 9000 [--q 3] [--k 2] [--steps 2]
 //!                  [--workload random|adversarial|strided] [--seed 42]
 //!                  [--slack 1.0] [--analytic]
+//!                  [--policy freshest|quorum]
+//!                  [--dead N] [--sever N] [--lossy N]
+//!                  [--corrupt N] [--freeze N]
+//!                  [--fault-seed S] [--fault-from T]
 //! prasim structure --n 1024 --d 5 [--q 3] [--k 2]
 //! prasim route     --n 1024 [--l1 1] [--algo greedy|flat|hier] [--parts 16]
 //! prasim bibd      --q 3 --d 2 [--m 8] [--dot]
 //! ```
+//!
+//! Fault flags inject a deterministic [`FaultPlan`]: `--dead`/`--sever`/
+//! `--lossy` pick that many random nodes/links (lossy links drop 25% of
+//! traversals); `--corrupt`/`--freeze` fault that many copies of every
+//! variable the run touches. `--fault-from` delays activation to the
+//! given PRAM step (steps are 1-based). `--policy quorum` reads through
+//! Definition 2's hierarchical majority instead of freshest-timestamp.
 
 use prasim::bibd::{Bibd, BibdSubgraph};
-use prasim::core::{workload, PramMeshSim, SimConfig};
-use prasim::hmos::{Hmos, HmosParams};
+use prasim::core::{workload, PramMeshSim, ReadPolicy, SimConfig};
+use prasim::fault::{CopyFaultKind, FaultPlan};
+use prasim::hmos::{Hmos, HmosParams, QuorumRead};
 use prasim::mesh::topology::MeshShape;
 use prasim::routing::bounds::lower_bounds;
 use prasim::routing::flat::route_flat;
@@ -57,14 +69,20 @@ impl Args {
     fn get_u64(&self, key: &str, default: u64) -> u64 {
         self.flags
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("--{key} expects a number"))))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| die(&format!("--{key} expects a number")))
+            })
             .unwrap_or(default)
     }
 
     fn get_f64(&self, key: &str, default: f64) -> f64 {
         self.flags
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("--{key} expects a number"))))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| die(&format!("--{key} expects a number")))
+            })
             .unwrap_or(default)
     }
 
@@ -116,48 +134,134 @@ see the source header of src/bin/prasim.rs for all flags";
 fn cmd_simulate(args: &Args) -> ExitCode {
     let n = args.get_u64("n", 1024);
     let memory = args.get_u64("memory", 9000);
+    let policy = match args.get_str("policy", "freshest") {
+        "freshest" => ReadPolicy::Freshest,
+        "quorum" | "majority" => ReadPolicy::HierarchicalMajority,
+        other => die(&format!("unknown policy `{other}` (use freshest|quorum)")),
+    };
     let config = SimConfig::new(n, memory)
         .with_q(args.get_u64("q", 3))
         .with_k(args.get_u64("k", 2) as u32)
         .with_culling_slack(args.get_f64("slack", 1.0))
-        .with_analytic_sort(args.has("analytic"));
+        .with_analytic_sort(args.has("analytic"))
+        .with_read_policy(policy);
     let mut sim = match PramMeshSim::new(config) {
         Ok(s) => s,
         Err(e) => die(&format!("{e}")),
     };
     let p = sim.hmos().params().clone();
     println!(
-        "machine: n = {n}, q = {}, k = {}, redundancy {}, memory {} (α = {:.3})",
+        "machine: n = {n}, q = {}, k = {}, redundancy {}, memory {} (α = {:.3}), {} reads",
         p.q,
         p.k,
         p.redundancy(),
         p.num_variables,
-        p.alpha()
+        p.alpha(),
+        match policy {
+            ReadPolicy::Freshest => "freshest",
+            ReadPolicy::HierarchicalMajority => "hierarchical-majority",
+        }
     );
     let steps = args.get_u64("steps", 2);
     let seed = args.get_u64("seed", 42);
     let active = n.min(sim.num_variables());
-    for s in 0..steps {
-        let vars = match args.get_str("workload", "random") {
+
+    // Pre-derive the per-step workloads so copy faults can target the
+    // variables the run will actually touch.
+    let workloads: Vec<Vec<u64>> = (0..steps)
+        .map(|s| match args.get_str("workload", "random") {
             "random" => workload::random_distinct(active, sim.num_variables(), seed + s),
             "adversarial" => workload::multi_module_adversary(sim.hmos(), active, s),
             "strided" => workload::strided(active, sim.num_variables(), 81 + s),
             other => die(&format!("unknown workload `{other}`")),
-        };
+        })
+        .collect();
+
+    let (dead, sever, lossy) = (
+        args.get_u64("dead", 0),
+        args.get_u64("sever", 0),
+        args.get_u64("lossy", 0),
+    );
+    let (corrupt, freeze) = (args.get_u64("corrupt", 0), args.get_u64("freeze", 0));
+    if dead + sever + lossy + corrupt + freeze > 0 {
+        let from = args.get_u64("fault-from", 0);
+        let fseed = args.get_u64("fault-seed", seed);
+        let shape = sim.hmos().shape();
+        let mut plan = FaultPlan::new(fseed);
+        if dead > 0 {
+            plan.random_dead_nodes(shape, dead, from);
+        }
+        if sever > 0 {
+            plan.random_severed_links(shape, sever, from);
+        }
+        if lossy > 0 {
+            plan.random_lossy_links(shape, lossy, 250, from);
+        }
+        if corrupt + freeze > 0 {
+            let mut seen = std::collections::HashSet::new();
+            for vars in &workloads {
+                for &v in vars {
+                    if seen.insert(v) {
+                        if corrupt > 0 {
+                            plan.fault_variable_copies(
+                                sim.hmos(),
+                                v,
+                                corrupt,
+                                CopyFaultKind::Corrupt,
+                                from,
+                            );
+                        }
+                        if freeze > 0 {
+                            plan.fault_variable_copies(
+                                sim.hmos(),
+                                v,
+                                freeze,
+                                CopyFaultKind::Freeze,
+                                from,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        println!(
+            "faults: {} (seed {fseed}, from step {from})",
+            plan.describe()
+        );
+        sim.set_fault_plan(plan);
+    }
+
+    for (s, vars) in workloads.iter().enumerate() {
         let step = if s % 2 == 0 {
-            workload::write_step(&vars, 1000 * s)
+            workload::write_step(vars, 1000 * s as u64)
         } else {
-            workload::read_step(&vars)
+            workload::read_step(vars)
         };
         match sim.step(&step) {
             Ok(r) => {
                 println!(
-                    "step {s}: total {} (culling {}, protocol {}), theorem3 {}",
+                    "step {s}: total {} (culling {}, protocol {}), theorem3 {}, dropped {}",
                     r.total_steps,
                     r.culling.total_steps,
                     r.protocol.total_steps,
-                    if r.culling.theorem3_holds() { "ok" } else { "VIOLATED" }
+                    if r.culling.theorem3_holds() {
+                        "ok"
+                    } else {
+                        "VIOLATED"
+                    },
+                    r.protocol.dropped
                 );
+                let (mut clean, mut tainted, mut unrec) = (0u64, 0u64, 0u64);
+                for o in r.outcomes.iter().flatten() {
+                    match o {
+                        QuorumRead::Value { .. } => clean += 1,
+                        QuorumRead::Tainted { .. } => tainted += 1,
+                        QuorumRead::Unrecoverable => unrec += 1,
+                    }
+                }
+                if clean + tainted + unrec > 0 {
+                    println!("  reads: {clean} clean, {tainted} tainted, {unrec} unrecoverable");
+                }
                 for st in &r.protocol.stages {
                     println!(
                         "  stage {}: sort {} route {} δ {}",
@@ -168,6 +272,23 @@ fn cmd_simulate(args: &Args) -> ExitCode {
             Err(e) => die(&format!("{e}")),
         }
     }
+    let t = sim.trace_report();
+    println!(
+        "trace: {} reads ({} correct, {} tainted, {} detected-unrecoverable, {} silent-wrong), \
+         {} writes ({} committed) — {}",
+        t.reads,
+        t.correct_reads,
+        t.tainted_reads,
+        t.unrecoverable_reads,
+        t.silent_wrong_reads,
+        t.writes,
+        t.committed_writes,
+        if t.is_consistent() {
+            "consistent EREW execution"
+        } else {
+            "INCONSISTENT (silent wrong reads)"
+        }
+    );
     ExitCode::SUCCESS
 }
 
@@ -195,7 +316,10 @@ fn cmd_structure(args: &Args) -> ExitCode {
         );
     }
     if !params.crowded_levels().is_empty() {
-        println!("crowded levels (pages share nodes): {:?}", params.crowded_levels());
+        println!(
+            "crowded levels (pages share nodes): {:?}",
+            params.crowded_levels()
+        );
     }
     match Hmos::new(params) {
         Ok(h) => {
@@ -225,8 +349,7 @@ fn cmd_route(args: &Args) -> ExitCode {
         "flat" => route_flat(&inst, 100_000_000).unwrap_or_else(|e| die(&format!("{e}"))),
         "hier" => {
             let parts = args.get_u64("parts", (n / 64).max(2));
-            route_hierarchical(&inst, parts, 100_000_000)
-                .unwrap_or_else(|e| die(&format!("{e}")))
+            route_hierarchical(&inst, parts, 100_000_000).unwrap_or_else(|e| die(&format!("{e}")))
         }
         other => die(&format!("unknown algorithm `{other}`")),
     };
@@ -241,7 +364,11 @@ fn cmd_route(args: &Args) -> ExitCode {
     );
     println!(
         "lower bounds: distance {}, receiver {}, bisection {}/{} → best {}",
-        lb.distance, lb.receiver, lb.bisection_v, lb.bisection_h, lb.best()
+        lb.distance,
+        lb.receiver,
+        lb.bisection_v,
+        lb.bisection_h,
+        lb.best()
     );
     ExitCode::SUCCESS
 }

@@ -11,11 +11,14 @@
 //! - [`sortnet`]: deterministic mesh sorting and ranking.
 //! - [`routing`]: `(l1,l2)`- and `(l1,l2,δ,m)`-routing.
 //! - [`hmos`]: the Hierarchical Memory Organization Scheme.
+//! - [`fault`]: deterministic fault injection and the PRAM-consistency
+//!   trace checker.
 //! - [`core`]: the PRAM step simulation (CULLING + access protocol) and
 //!   baseline schemes.
 
 pub use prasim_bibd as bibd;
 pub use prasim_core as core;
+pub use prasim_fault as fault;
 pub use prasim_gf as gf;
 pub use prasim_hmos as hmos;
 pub use prasim_mesh as mesh;

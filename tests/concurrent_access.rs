@@ -162,7 +162,9 @@ fn crew_matrix_vector_multiply() {
     // read x (concurrent, 8 readers per x[j]).
     let ra = s.step(&PramStep::reads(&a_vars)).unwrap();
     let rx_step = PramStep {
-        ops: (0..64u64).map(|t| Some(Op::Read { var: 64 + t % 8 })).collect(),
+        ops: (0..64u64)
+            .map(|t| Some(Op::Read { var: 64 + t % 8 }))
+            .collect(),
     };
     let rx = step_crew(&mut s, &rx_step).unwrap();
     // Sum per row via CRCW combining.

@@ -18,7 +18,11 @@ fn roundtrip(mut sim: PramMeshSim, active: u64, seed: u64) {
 
 #[test]
 fn roundtrip_default_config() {
-    roundtrip(PramMeshSim::new(SimConfig::new(1024, 9000)).unwrap(), 1024, 1);
+    roundtrip(
+        PramMeshSim::new(SimConfig::new(1024, 9000)).unwrap(),
+        1024,
+        1,
+    );
 }
 
 #[test]
@@ -71,7 +75,11 @@ fn adversarial_workloads_respect_theorem3() {
     for first in [0u64, 7, 40] {
         let vars = workload::multi_module_adversary(sim.hmos(), 1024, first);
         let r = sim.step(&PramStep::reads(&vars)).unwrap();
-        assert!(r.culling.theorem3_holds(), "module {first}: {:?}", r.culling);
+        assert!(
+            r.culling.theorem3_holds(),
+            "module {first}: {:?}",
+            r.culling
+        );
     }
     for stride in [1u64, 27, 81] {
         let vars = workload::strided(1024, sim.num_variables(), stride);
@@ -224,5 +232,8 @@ fn analytic_sort_mode_changes_costs_not_values() {
         rm.total_steps, ra.total_steps,
         "the two accountings should differ at this size"
     );
-    assert!(ra.total_steps < rm.total_steps, "analytic drops the log factor");
+    assert!(
+        ra.total_steps < rm.total_steps,
+        "analytic drops the log factor"
+    );
 }

@@ -1,0 +1,191 @@
+//! End-to-end fault injection: the acceptance criteria of the fault
+//! subsystem, driven through the full `PramMeshSim` stack (CULLING /
+//! select-all, mesh routing with fault masks, access protocol, quorum
+//! resolution, trace checker).
+//!
+//! The contract under test: with faults on fewer than `⌈q/2⌉^k` copies
+//! of a variable, every read returns the last written value; above the
+//! threshold, failures are *detected* — the silent-wrong count is zero
+//! in every scenario, and every run is byte-deterministic in the seed.
+
+use prasim::core::{workload, PramMeshSim, PramStep, ReadPolicy, SimConfig};
+use prasim::fault::{CopyFaultKind, FaultPlan, TraceReport};
+
+const N: u64 = 1024;
+const MEM: u64 = 9000;
+const NVARS: u64 = 200;
+
+fn quorum_sim() -> PramMeshSim {
+    PramMeshSim::new(SimConfig::new(N, MEM).with_read_policy(ReadPolicy::HierarchicalMajority))
+        .unwrap()
+}
+
+fn vars_and_values(sim: &PramMeshSim, seed: u64) -> (Vec<u64>, Vec<u64>) {
+    let vars = workload::random_distinct(NVARS, sim.num_variables(), seed);
+    let values = vars.iter().map(|v| v.wrapping_mul(31) ^ 0x5EED).collect();
+    (vars, values)
+}
+
+/// Below the tolerance (`⌈q/2⌉^k = 4` for the default q = 3, k = 2),
+/// corrupting 3 copies of every touched variable changes nothing
+/// observable: every write commits, every read returns the written
+/// value, and the trace is a legal EREW execution.
+#[test]
+fn below_tolerance_corruption_recovers_every_read() {
+    let mut sim = quorum_sim();
+    let (vars, values) = vars_and_values(&sim, 11);
+    let mut plan = FaultPlan::new(0xFA01);
+    for &v in &vars {
+        let leaves = plan.fault_variable_copies(sim.hmos(), v, 3, CopyFaultKind::Corrupt, 0);
+        assert_eq!(leaves.len(), 3);
+    }
+    sim.set_fault_plan(plan);
+
+    sim.step(&PramStep::writes(&vars, &values)).unwrap();
+    let r = sim.step(&PramStep::reads(&vars)).unwrap();
+    for (p, &expect) in values.iter().enumerate() {
+        assert_eq!(r.reads[p], Some(expect), "processor {p}");
+    }
+    let t = sim.trace_report();
+    assert_eq!(t.committed_writes, NVARS);
+    assert_eq!(t.correct_reads + t.tainted_reads, NVARS);
+    assert_eq!(t.unrecoverable_reads, 0);
+    assert_eq!(t.silent_wrong_reads, 0);
+    assert!(t.is_consistent(), "{t:?}");
+}
+
+/// Above the threshold (6 of 9 copies corrupt, leaving only 3 healthy —
+/// below the minimal target-set size of 4), every read fails *detectably*:
+/// no quorum certifies, no wrong value is ever returned as good.
+#[test]
+fn above_tolerance_corruption_is_detected_never_silent() {
+    let mut sim = quorum_sim();
+    let (vars, values) = vars_and_values(&sim, 12);
+    let mut plan = FaultPlan::new(0xFA02);
+    for &v in &vars {
+        plan.fault_variable_copies(sim.hmos(), v, 6, CopyFaultKind::Corrupt, 0);
+    }
+    sim.set_fault_plan(plan);
+
+    sim.step(&PramStep::writes(&vars, &values)).unwrap();
+    let r = sim.step(&PramStep::reads(&vars)).unwrap();
+    assert!(r.reads.iter().take(NVARS as usize).all(Option::is_none));
+    let t = sim.trace_report();
+    assert_eq!(
+        t.committed_writes, 0,
+        "3 surviving copies cannot form a target set"
+    );
+    assert_eq!(t.unrecoverable_reads, NVARS);
+    assert_eq!(t.silent_wrong_reads, 0);
+    assert!(
+        t.is_consistent(),
+        "detected failure is not an inconsistency: {t:?}"
+    );
+}
+
+/// Frozen (stale) copies answer with an old pair; its timestamp is
+/// *lower* than the certified one, so the fresh quorum wins cleanly —
+/// reads are correct, not even tainted.
+#[test]
+fn stale_copies_do_not_mask_the_fresh_write() {
+    let mut sim = quorum_sim();
+    let (vars, values) = vars_and_values(&sim, 13);
+    let second: Vec<u64> = values.iter().map(|v| v ^ 0xFFFF).collect();
+    // Freeze 3 copies per variable starting at PRAM step 2: the first
+    // write lands everywhere, the second write is lost on frozen cells.
+    let mut plan = FaultPlan::new(0xFA03);
+    for &v in &vars {
+        plan.fault_variable_copies(sim.hmos(), v, 3, CopyFaultKind::Freeze, 2);
+    }
+    sim.set_fault_plan(plan);
+
+    sim.step(&PramStep::writes(&vars, &values)).unwrap();
+    sim.step(&PramStep::writes(&vars, &second)).unwrap();
+    let r = sim.step(&PramStep::reads(&vars)).unwrap();
+    for (p, &expect) in second.iter().enumerate() {
+        assert_eq!(
+            r.reads[p],
+            Some(expect),
+            "processor {p} must see the second write"
+        );
+    }
+    let t = sim.trace_report();
+    assert_eq!(
+        t.correct_reads, NVARS,
+        "stale timestamps are lower: no taint, {t:?}"
+    );
+    assert!(t.is_consistent());
+}
+
+/// A mixed machine-level plan — dead nodes, severed links, lossy links,
+/// plus per-variable corruption — may degrade reads, but never silently:
+/// the trace stays a legal EREW execution and the whole run is
+/// reproducible bit-for-bit from the seed.
+#[test]
+fn mixed_faults_never_silent_wrong_and_fully_deterministic() {
+    let run = |seed: u64| -> (Vec<Option<u64>>, TraceReport, u64) {
+        let mut sim = quorum_sim();
+        let (vars, values) = vars_and_values(&sim, 14);
+        let shape = sim.hmos().shape();
+        let mut plan = FaultPlan::new(seed);
+        plan.random_dead_nodes(shape, 12, 0)
+            .random_severed_links(shape, 16, 0)
+            .random_lossy_links(shape, 24, 250, 0);
+        for &v in &vars {
+            plan.fault_variable_copies(sim.hmos(), v, 2, CopyFaultKind::Corrupt, 0);
+        }
+        sim.set_fault_plan(plan);
+        let w = sim.step(&PramStep::writes(&vars, &values)).unwrap();
+        let r = sim.step(&PramStep::reads(&vars)).unwrap();
+        (
+            r.reads.clone(),
+            sim.trace_report(),
+            w.protocol.dropped + r.protocol.dropped,
+        )
+    };
+
+    let (reads_a, trace_a, dropped_a) = run(0xFA04);
+    assert_eq!(trace_a.silent_wrong_reads, 0);
+    assert!(trace_a.is_consistent(), "{trace_a:?}");
+    assert!(dropped_a > 0, "12 dead nodes must drop some packets");
+    assert!(
+        trace_a.correct_reads + trace_a.tainted_reads > NVARS / 2,
+        "graceful degradation expected, got {trace_a:?}"
+    );
+
+    let (reads_b, trace_b, dropped_b) = run(0xFA04);
+    assert_eq!(reads_a, reads_b, "same seed must reproduce identical reads");
+    assert_eq!(trace_a, trace_b);
+    assert_eq!(dropped_a, dropped_b);
+
+    let (_, trace_c, _) = run(0xFA05);
+    assert_eq!(
+        trace_c.silent_wrong_reads, 0,
+        "safety holds for other seeds too"
+    );
+}
+
+/// Per-step activation: a plan armed `from` step 2 leaves step 1
+/// untouched — the fault-free prefix of a run is exactly the fault-free
+/// run.
+#[test]
+fn activation_step_gates_the_fault_plan() {
+    let mut sim = quorum_sim();
+    let (vars, values) = vars_and_values(&sim, 15);
+    let shape = sim.hmos().shape();
+    let mut plan = FaultPlan::new(0xFA06);
+    plan.random_dead_nodes(shape, 20, 2);
+    sim.set_fault_plan(plan);
+
+    let w = sim.step(&PramStep::writes(&vars, &values)).unwrap();
+    assert_eq!(
+        w.protocol.dropped, 0,
+        "step 1 predates the plan's activation"
+    );
+    let r = sim.step(&PramStep::reads(&vars)).unwrap();
+    assert!(r.protocol.dropped > 0, "step 2 must feel the 20 dead nodes");
+    let t = sim.trace_report();
+    assert_eq!(t.committed_writes, NVARS);
+    assert_eq!(t.silent_wrong_reads, 0);
+    assert!(t.is_consistent(), "{t:?}");
+}
