@@ -1,0 +1,72 @@
+//! Sharded-engine benchmarks: the same saturated routing phase swept
+//! across worker-thread counts (the wall-clock half of T16 — the
+//! determinism half is enforced by the equivalence proptest and the CI
+//! matrix). Speedups require actual cores; on a single-core host the
+//! sweep measures banding overhead instead.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use prasim_mesh::engine::{Engine, Packet};
+use prasim_mesh::region::Rect;
+use prasim_mesh::topology::MeshShape;
+use prasim_routing::problem::SplitMix64;
+
+/// A mesh saturated with `per_node` random-destination packets at every
+/// node, ready to run.
+fn saturated_engine(shape: MeshShape, per_node: u64, threads: usize) -> Engine {
+    let mut engine = Engine::new(shape).with_threads(threads);
+    let bounds = Rect::full(shape);
+    let mut rng = SplitMix64(0xC0FFEE ^ shape.nodes());
+    let mut id = 0u64;
+    for node in 0..shape.nodes() as u32 {
+        let src = shape.coord(node);
+        for _ in 0..per_node {
+            let dest = shape.coord((rng.next_u64() % shape.nodes()) as u32);
+            engine.inject(
+                src,
+                Packet {
+                    id,
+                    dest,
+                    bounds,
+                    tag: id,
+                },
+            );
+            id += 1;
+        }
+    }
+    engine
+}
+
+fn bench_thread_sweep(c: &mut Criterion) {
+    let shape = MeshShape::square_of(4096).unwrap();
+    let mut g = c.benchmark_group("engine/threads_n4096");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(format!("t{threads}"), |b| {
+            b.iter_batched(
+                || saturated_engine(shape, 16, threads),
+                |mut e| black_box(e.run(100_000_000).unwrap().steps),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_sequential_small(c: &mut Criterion) {
+    // The sequential fast path must not regress from the banding
+    // refactor: small mesh, light load, threads = 1.
+    let shape = MeshShape::square_of(1024).unwrap();
+    let mut g = c.benchmark_group("engine/sequential_n1024");
+    g.sample_size(10);
+    g.bench_function("t1_light", |b| {
+        b.iter_batched(
+            || saturated_engine(shape, 2, 1),
+            |mut e| black_box(e.run(100_000_000).unwrap().steps),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_thread_sweep, bench_sequential_small);
+criterion_main!(benches);

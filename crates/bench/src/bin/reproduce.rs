@@ -1,16 +1,39 @@
-//! Regenerates every experiment table (T1–T15) of EXPERIMENTS.md.
+//! Regenerates every experiment table (T1–T16) of EXPERIMENTS.md.
 //!
 //! ```sh
 //! cargo run --release -p prasim-bench --bin reproduce            # standard sizes
 //! cargo run --release -p prasim-bench --bin reproduce -- quick   # CI-sized
 //! cargo run --release -p prasim-bench --bin reproduce -- full    # adds n = 65536 points
 //! cargo run --release -p prasim-bench --bin reproduce -- T4 T6   # selected tables
+//! cargo run --release -p prasim-bench --bin reproduce -- quick T12 --threads 8
 //! ```
+//!
+//! `--threads N` shards every mesh engine across N workers (default:
+//! available parallelism). The tables are byte-identical for every
+//! value — the CI determinism matrix diffs selected tables across
+//! `--threads 1/2/8` to prove it; only T16's wall-clock columns vary.
 
 use prasim_bench::tables::{self, Table};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = Vec::new();
+    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            let v = it
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&t| t > 0)
+                .expect("--threads needs a positive integer");
+            threads = v;
+        } else {
+            args.push(a);
+        }
+    }
+    prasim_mesh::engine::set_global_threads(threads);
+
     let quick = args.iter().any(|a| a == "quick");
     let full = args.iter().any(|a| a == "full");
     let selected: Vec<&str> = args
@@ -96,6 +119,12 @@ fn main() {
     if want("T15") {
         let (n, d) = if quick { (1024, 5) } else { (4096, 6) };
         out.push(tables::t15_stage_deltas(n, d, 2));
+    }
+    if want("T16") {
+        // Wall-clock columns vary run to run; everything else in the
+        // table is part of the determinism contract.
+        let (n, ppn) = if quick { (1024, 8) } else { (4096, 16) };
+        out.push(tables::t16_parallel_speedup(n, ppn, &[1, 2, 4, 8]));
     }
 
     println!("# prasim — reproduced results\n");

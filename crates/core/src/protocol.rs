@@ -62,6 +62,9 @@ pub struct RunOptions<'a> {
     /// Fault scenario in force, if any: machine faults become per-step
     /// engine masks, cell faults overlay the memory accesses.
     pub faults: Option<&'a FaultPlan>,
+    /// Worker threads the routing engines shard their rows across (1 =
+    /// sequential; the results never depend on the value).
+    pub threads: usize,
 }
 
 impl RunOptions<'static> {
@@ -73,6 +76,7 @@ impl RunOptions<'static> {
             analytic: false,
             policy: ReadPolicy::Freshest,
             faults: None,
+            threads: prasim_mesh::engine::default_threads(),
         }
     }
 }
@@ -92,7 +96,14 @@ impl<'a> RunOptions<'a> {
             analytic: self.analytic,
             policy: self.policy,
             faults: Some(faults),
+            threads: self.threads,
         }
+    }
+
+    /// Sets the engine worker-thread count (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 }
 
@@ -178,8 +189,10 @@ pub fn access_protocol(
         .map(|f| f.mask_at(shape, clock))
         .filter(|m| !m.is_empty());
     let make_engine = || match &mask {
-        Some(m) => Engine::new(shape).with_faults(m.clone()),
-        None => Engine::new(shape),
+        Some(m) => Engine::new(shape)
+            .with_threads(run.threads)
+            .with_faults(m.clone()),
+        None => Engine::new(shape).with_threads(run.threads),
     };
 
     // Flatten packets.

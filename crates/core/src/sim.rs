@@ -33,6 +33,11 @@ pub struct SimConfig {
     /// [`ReadPolicy::HierarchicalMajority`] to read via Definition 2's
     /// quorum over all `q^k` copies (required for fault tolerance).
     pub read_policy: ReadPolicy,
+    /// Worker threads the mesh engines shard their rows across (1 =
+    /// sequential). Results are byte-identical for every value — only
+    /// wall-clock time changes. Defaults to the process-wide
+    /// [`prasim_mesh::engine::default_threads`].
+    pub threads: usize,
 }
 
 impl SimConfig {
@@ -48,7 +53,14 @@ impl SimConfig {
             max_engine_steps: 100_000_000,
             analytic_sort: false,
             read_policy: ReadPolicy::Freshest,
+            threads: prasim_mesh::engine::default_threads(),
         }
+    }
+
+    /// Sets the engine worker-thread count (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Sets the read-resolution policy.
@@ -275,6 +287,7 @@ impl PramMeshSim {
             analytic: self.config.analytic_sort,
             policy: self.config.read_policy,
             faults: self.fault_plan.as_ref(),
+            threads: self.config.threads,
         };
         let mut access =
             access_protocol(&self.hmos, &mut self.memory, &ops, &culled.selected, &run)?;

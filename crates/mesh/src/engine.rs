@@ -1,4 +1,5 @@
-//! Synchronous store-and-forward packet engine.
+//! Synchronous store-and-forward packet engine, sequential or sharded
+//! across worker threads.
 //!
 //! Models the paper's machine: in each time step every node may send one
 //! packet along each of its (at most four) outgoing links and receive one
@@ -12,11 +13,72 @@
 //! largest remaining Manhattan distance wins (farthest-first), ties by
 //! packet id. Queues are unbounded; the maximum observed queue length is
 //! reported in [`EngineStats`] as the buffer-space certificate.
+//!
+//! # Sharded parallel execution
+//!
+//! The machine is synchronous, so one step is an embarrassingly parallel
+//! per-node transition plus nearest-neighbor exchange. [`Engine`] exploits
+//! this by splitting the rows into contiguous **bands**, one per worker
+//! thread ([`Engine::with_threads`]), and running each step as two
+//! barrier-separated half-steps:
+//!
+//! 1. **compute** — every band picks its winners (farthest-first link
+//!    arbitration), removes them from its own queues and appends the
+//!    resulting moves, in source-node order, to one handoff queue per
+//!    *destination* band;
+//! 2. **apply** — after a barrier, every band drains the handoff queues
+//!    addressed to it *in fixed source-band order* and appends the
+//!    arrivals to its nodes' queues, then absorbs packets that reached
+//!    their destination.
+//!
+//! Because bands are contiguous ascending row ranges, concatenating the
+//! handoff queues in source-band order reproduces exactly the ascending
+//! global node scan of the sequential engine, so every per-node queue —
+//! and therefore every subsequent arbitration decision, fault drop,
+//! detour, trace count and the [`Engine::take_delivered`] order — is
+//! **byte-identical for every thread count**. Both paths run the same
+//! per-band code (`compute_band`/`absorb_band`); the sequential
+//! engine is simply the one-band instance. The property is enforced by
+//! the `parallel_equivalence` proptest suite and by the CI determinism
+//! matrix, which diffs whole reproduce tables across `--threads 1/2/8`.
 
 use crate::fault::FaultMask;
 use crate::region::Rect;
 use crate::topology::{Coord, Dir, MeshShape};
 use crate::trace::LinkTrace;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, OnceLock};
+
+/// Process-wide thread-count override installed by [`set_global_threads`]
+/// (0 = unset).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+/// Cached `PRASIM_THREADS` environment lookup.
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// The worker-thread count a fresh [`Engine`] starts with: the override
+/// installed by [`set_global_threads`] if any, else the `PRASIM_THREADS`
+/// environment variable, else 1 (sequential). Results never depend on
+/// the value — only wall-clock time does.
+pub fn default_threads() -> usize {
+    match GLOBAL_THREADS.load(Ordering::Relaxed) {
+        0 => *ENV_THREADS.get_or_init(|| {
+            std::env::var("PRASIM_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&t| t > 0)
+                .unwrap_or(1)
+        }),
+        t => t,
+    }
+}
+
+/// Installs a process-wide default worker-thread count for every engine
+/// constructed afterwards (CLIs call this from their `--threads` flag so
+/// the knob reaches engines built deep inside the routing and protocol
+/// stages). Clamped to at least 1.
+pub fn set_global_threads(threads: usize) {
+    GLOBAL_THREADS.store(threads.max(1), Ordering::Relaxed);
+}
 
 /// A packet in flight.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,130 +153,17 @@ struct Flight {
     last_dir: Option<Dir>,
 }
 
-/// The packet engine. Inject packets, then [`Engine::run`]; delivered
-/// packets are collected per destination node.
-#[derive(Debug)]
-pub struct Engine {
+/// Immutable inputs of one synchronous step, shared by the sequential
+/// path and every parallel worker.
+#[derive(Clone, Copy)]
+struct StepCtx<'a> {
     shape: MeshShape,
-    /// Per-node resident packets (waiting to move or to be consumed).
-    resident: Vec<Vec<Flight>>,
-    /// Delivered packets with their destination node index.
-    delivered: Vec<(u32, Packet)>,
-    in_flight: u64,
-    stats: EngineStats,
-    /// Optional per-link traversal recording (see [`crate::trace`]).
-    trace: Option<LinkTrace>,
-    /// Broken nodes and links for this run, if any.
-    faults: Option<FaultMask>,
+    faults: Option<&'a FaultMask>,
+    /// Step number fed to the deterministic lossy-link hash.
+    step: u64,
 }
 
-impl Engine {
-    /// An empty engine on the given mesh.
-    pub fn new(shape: MeshShape) -> Self {
-        Engine {
-            resident: vec![Vec::new(); shape.nodes() as usize],
-            delivered: Vec::new(),
-            in_flight: 0,
-            shape,
-            stats: EngineStats::default(),
-            trace: None,
-            faults: None,
-        }
-    }
-
-    /// Enables per-link traversal tracing (congestion heatmaps).
-    pub fn with_trace(mut self) -> Self {
-        self.trace = Some(LinkTrace::new(self.shape));
-        self
-    }
-
-    /// Installs a fault mask for this run. Must be called before any
-    /// packet is injected so dead-endpoint drops are accounted uniformly.
-    pub fn with_faults(mut self, mask: FaultMask) -> Self {
-        debug_assert_eq!(mask.shape(), self.shape, "fault mask shape mismatch");
-        debug_assert_eq!(self.in_flight, 0, "install faults before injecting");
-        self.faults = Some(mask);
-        self
-    }
-
-    /// The installed fault mask, if any.
-    pub fn faults(&self) -> Option<&FaultMask> {
-        self.faults.as_ref()
-    }
-
-    /// The recorded trace, if tracing was enabled.
-    pub fn trace(&self) -> Option<&LinkTrace> {
-        self.trace.as_ref()
-    }
-
-    /// The mesh shape.
-    #[inline]
-    pub fn shape(&self) -> MeshShape {
-        self.shape
-    }
-
-    /// Places a packet at `src`. Both `src` and the packet destination
-    /// must lie inside the packet's bounds. With a fault mask installed,
-    /// packets originating at or addressed to dead nodes are dropped on
-    /// the spot.
-    pub fn inject(&mut self, src: Coord, pkt: Packet) {
-        debug_assert!(pkt.bounds.contains(src), "source outside bounds");
-        debug_assert!(pkt.bounds.contains(pkt.dest), "destination outside bounds");
-        if let Some(mask) = &self.faults {
-            if mask.node_dead(self.shape.index(src)) || mask.node_dead(self.shape.index(pkt.dest)) {
-                self.stats.dropped += 1;
-                return;
-            }
-        }
-        // Detours around faults may not exceed twice the bounding-box
-        // perimeter — enough to round any blocked region, small enough to
-        // guarantee termination.
-        let budget = 2 * (pkt.bounds.rows + pkt.bounds.cols) + 8;
-        self.in_flight += 1;
-        self.resident[self.shape.index(src) as usize].push(Flight {
-            pkt,
-            detours: 0,
-            budget,
-            last_dir: None,
-        });
-    }
-
-    /// Packets not yet delivered.
-    #[inline]
-    pub fn in_flight(&self) -> u64 {
-        self.in_flight
-    }
-
-    /// Runs until every packet is delivered or the budget is exhausted.
-    /// Returns the stats accumulated by this run (also kept in
-    /// [`Engine::stats`]).
-    pub fn run(&mut self, max_steps: u64) -> Result<EngineStats, EngineError> {
-        // Deliver packets already at their destination (zero-distance).
-        self.absorb_arrivals();
-        while self.in_flight > 0 {
-            if self.stats.steps >= max_steps {
-                return Err(EngineError::StepBudgetExceeded {
-                    max_steps,
-                    in_flight: self.in_flight,
-                });
-            }
-            self.step();
-        }
-        Ok(self.stats)
-    }
-
-    /// Stats accumulated so far.
-    #[inline]
-    pub fn stats(&self) -> EngineStats {
-        self.stats
-    }
-
-    /// Drains and returns the delivered packets (destination node index,
-    /// packet).
-    pub fn take_delivered(&mut self) -> Vec<(u32, Packet)> {
-        std::mem::take(&mut self.delivered)
-    }
-
+impl StepCtx<'_> {
     /// Greedy XY next direction: fix the column first, then the row.
     #[inline]
     fn next_dir(cur: Coord, dest: Coord) -> Option<Dir> {
@@ -238,7 +187,7 @@ impl Engine {
     fn choose_dir(&self, here: Coord, fl: &Flight) -> Option<(Dir, bool)> {
         let greedy = Self::next_dir(here, fl.pkt.dest)
             .expect("resident packet at destination should have been absorbed");
-        let mask = match &self.faults {
+        let mask = match self.faults {
             Some(m) if !m.is_empty() => m,
             _ => return Some((greedy, false)),
         };
@@ -296,105 +245,342 @@ impl Engine {
         }
         reverse.and_then(usable)
     }
+}
 
-    fn absorb_arrivals(&mut self) {
-        for idx in 0..self.resident.len() {
-            let here = self.shape.coord(idx as u32);
-            let dead_here = self
-                .faults
-                .as_ref()
-                .is_some_and(|m| m.node_dead(idx as u32));
-            let mut i = 0;
-            while i < self.resident[idx].len() {
-                if dead_here {
-                    self.resident[idx].swap_remove(i);
-                    self.in_flight -= 1;
-                    self.stats.dropped += 1;
-                } else if self.resident[idx][i].pkt.dest == here {
-                    let fl = self.resident[idx].swap_remove(i);
-                    self.delivered.push((idx as u32, fl.pkt));
-                    self.in_flight -= 1;
-                    self.stats.delivered += 1;
-                } else {
-                    i += 1;
+/// Packet moves leaving one band, keyed by destination band, each queue
+/// in source-node order.
+type BandMoves = Vec<Vec<(u32, Flight)>>;
+
+/// One band's per-step output: outgoing moves keyed by destination band
+/// plus the stats deltas the coordinator folds into [`EngineStats`].
+#[derive(Default)]
+struct BandScratch {
+    /// Packet moves per destination band, each in source-node order.
+    moves: BandMoves,
+    hops: u64,
+    dropped: u64,
+    delivered: Vec<(u32, Packet)>,
+    max_queue: usize,
+}
+
+impl BandScratch {
+    fn with_bands(bands: usize) -> Self {
+        BandScratch {
+            moves: (0..bands).map(|_| Vec::new()).collect(),
+            ..BandScratch::default()
+        }
+    }
+}
+
+/// One band's compute half-step: per node (ascending), pick the
+/// farthest-first winner of each outgoing link, remove winners and stuck
+/// packets from the band's queues, and append the moves — in source-node
+/// order — to `out.moves[destination band]`. Only this band's queues and
+/// trace slice are touched, so bands run concurrently; the outcome is
+/// independent of how rows are banded.
+fn compute_band(
+    ctx: &StepCtx<'_>,
+    queues: &mut [Vec<Flight>],
+    node0: u32,
+    mut trace: Option<&mut [[u64; 4]]>,
+    band_of: impl Fn(u32) -> usize,
+    out: &mut BandScratch,
+) {
+    for (local, queue) in queues.iter_mut().enumerate() {
+        if queue.is_empty() {
+            continue;
+        }
+        let idx = node0 + local as u32;
+        let here = ctx.shape.coord(idx);
+        // Pick, per direction, the farthest-first packet.
+        let mut best: [Option<(u32, u64, usize, bool)>; 4] = [None; 4]; // (dist, id, pos, detour)
+        let mut stuck: Vec<usize> = Vec::new();
+        for (pos, fl) in queue.iter().enumerate() {
+            match ctx.choose_dir(here, fl) {
+                Some((dir, detour)) => {
+                    let d = dir.index();
+                    let dist = here.manhattan(fl.pkt.dest);
+                    let better = match best[d] {
+                        None => true,
+                        Some((bd, bid, _, _)) => dist > bd || (dist == bd && fl.pkt.id < bid),
+                    };
+                    if better {
+                        best[d] = Some((dist, fl.pkt.id, pos, detour));
+                    }
                 }
+                None => stuck.push(pos),
+            }
+        }
+        // Remove stuck packets and winners in descending position
+        // order to keep indices valid, then record the moves.
+        let mut removals: Vec<(usize, Option<(Dir, bool)>)> =
+            stuck.into_iter().map(|p| (p, None)).collect();
+        for (d, slot) in best.iter().enumerate() {
+            if let Some((_, _, pos, detour)) = *slot {
+                removals.push((pos, Some((Dir::ALL[d], detour))));
+            }
+        }
+        removals.sort_unstable_by_key(|r| std::cmp::Reverse(r.0));
+        for (pos, action) in removals {
+            let mut fl = queue.swap_remove(pos);
+            let Some((dir, detour)) = action else {
+                // Every usable link is gone: the packet dies here.
+                out.dropped += 1;
+                continue;
+            };
+            if let Some(counts) = trace.as_deref_mut() {
+                counts[local][dir.index()] += 1;
+            }
+            out.hops += 1;
+            let lost = ctx
+                .faults
+                .is_some_and(|m| m.traversal_lost(ctx.step, idx, dir, fl.pkt.id));
+            if lost {
+                out.dropped += 1;
+                continue;
+            }
+            if detour {
+                fl.detours += 1;
+            }
+            fl.last_dir = Some(dir);
+            let next = ctx
+                .shape
+                .step(here, dir)
+                .expect("XY routing within bounds cannot leave the mesh");
+            debug_assert!(fl.pkt.bounds.contains(next), "packet left its bounds");
+            let next_idx = ctx.shape.index(next);
+            out.moves[band_of(next_idx)].push((next_idx, fl));
+        }
+    }
+}
+
+/// Absorbs every packet of the band that sits at its destination (and
+/// drops anything resident on a dead node), appending to `out.delivered`
+/// and `out.dropped` in node order.
+fn absorb_band(
+    shape: MeshShape,
+    faults: Option<&FaultMask>,
+    queues: &mut [Vec<Flight>],
+    node0: u32,
+    out: &mut BandScratch,
+) {
+    for (local, queue) in queues.iter_mut().enumerate() {
+        let idx = node0 + local as u32;
+        let here = shape.coord(idx);
+        let dead_here = faults.is_some_and(|m| m.node_dead(idx));
+        let mut i = 0;
+        while i < queue.len() {
+            if dead_here {
+                queue.swap_remove(i);
+                out.dropped += 1;
+            } else if queue[i].pkt.dest == here {
+                let fl = queue.swap_remove(i);
+                out.delivered.push((idx, fl.pkt));
+            } else {
+                i += 1;
             }
         }
     }
+}
 
-    /// One synchronous step: every node forwards at most one packet per
-    /// outgoing link; arrivals at destinations are absorbed. Faulty
-    /// components divert, delay or destroy packets as described on
-    /// [`FaultMask`].
-    fn step(&mut self) {
-        let mut moves: Vec<(u32, Flight)> = Vec::new();
-        for idx in 0..self.resident.len() {
-            if self.resident[idx].is_empty() {
-                continue;
-            }
-            let here = self.shape.coord(idx as u32);
-            // Pick, per direction, the farthest-first packet.
-            let mut best: [Option<(u32, u64, usize, bool)>; 4] = [None; 4]; // (dist, id, pos, detour)
-            let mut stuck: Vec<usize> = Vec::new();
-            for (pos, fl) in self.resident[idx].iter().enumerate() {
-                match self.choose_dir(here, fl) {
-                    Some((dir, detour)) => {
-                        let d = dir.index();
-                        let dist = here.manhattan(fl.pkt.dest);
-                        let better = match best[d] {
-                            None => true,
-                            Some((bd, bid, _, _)) => dist > bd || (dist == bd && fl.pkt.id < bid),
-                        };
-                        if better {
-                            best[d] = Some((dist, fl.pkt.id, pos, detour));
-                        }
-                    }
-                    None => stuck.push(pos),
-                }
-            }
-            // Remove stuck packets and winners in descending position
-            // order to keep indices valid, then record the moves.
-            let mut removals: Vec<(usize, Option<(Dir, bool)>)> =
-                stuck.into_iter().map(|p| (p, None)).collect();
-            for (d, slot) in best.iter().enumerate() {
-                if let Some((_, _, pos, detour)) = *slot {
-                    removals.push((pos, Some((Dir::ALL[d], detour))));
-                }
-            }
-            removals.sort_unstable_by_key(|r| std::cmp::Reverse(r.0));
-            for (pos, action) in removals {
-                let mut fl = self.resident[idx].swap_remove(pos);
-                let Some((dir, detour)) = action else {
-                    // Every usable link is gone: the packet dies here.
-                    self.in_flight -= 1;
-                    self.stats.dropped += 1;
-                    continue;
-                };
-                if let Some(trace) = self.trace.as_mut() {
-                    trace.record(here, dir);
-                }
-                self.stats.total_hops += 1;
-                let lost = self.faults.as_ref().is_some_and(|m| {
-                    m.traversal_lost(self.stats.steps, idx as u32, dir, fl.pkt.id)
-                });
-                if lost {
-                    self.in_flight -= 1;
-                    self.stats.dropped += 1;
-                    continue;
-                }
-                if detour {
-                    fl.detours += 1;
-                }
-                fl.last_dir = Some(dir);
-                let next = self
-                    .shape
-                    .step(here, dir)
-                    .expect("XY routing within bounds cannot leave the mesh");
-                debug_assert!(fl.pkt.bounds.contains(next), "packet left its bounds");
-                moves.push((self.shape.index(next), fl));
+/// The packet engine. Inject packets, then [`Engine::run`]; delivered
+/// packets are collected per destination node.
+#[derive(Debug)]
+pub struct Engine {
+    shape: MeshShape,
+    /// Per-node resident packets (waiting to move or to be consumed).
+    resident: Vec<Vec<Flight>>,
+    /// Delivered packets with their destination node index.
+    delivered: Vec<(u32, Packet)>,
+    in_flight: u64,
+    stats: EngineStats,
+    /// Optional per-link traversal recording (see [`crate::trace`]).
+    trace: Option<LinkTrace>,
+    /// Broken nodes and links for this run, if any.
+    faults: Option<FaultMask>,
+    /// Worker threads the step loop shards its rows across (1 =
+    /// sequential). Never changes the results, only the wall clock.
+    threads: usize,
+}
+
+impl Engine {
+    /// An empty engine on the given mesh, with the process default
+    /// worker-thread count ([`default_threads`]).
+    pub fn new(shape: MeshShape) -> Self {
+        Engine {
+            resident: vec![Vec::new(); shape.nodes() as usize],
+            delivered: Vec::new(),
+            in_flight: 0,
+            shape,
+            stats: EngineStats::default(),
+            trace: None,
+            faults: None,
+            threads: default_threads(),
+        }
+    }
+
+    /// Enables per-link traversal tracing (congestion heatmaps).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = Some(LinkTrace::new(self.shape));
+        self
+    }
+
+    /// Sets the number of worker threads the synchronous step loop
+    /// shards its rows across (clamped to at least 1, and to the row
+    /// count at run time). Results are byte-identical for every value —
+    /// only wall-clock time changes.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker-thread count.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Installs a fault mask for this run. Must be called before any
+    /// packet is injected, so dead-endpoint drops are accounted
+    /// uniformly; panics (debug assertion) if packets are already
+    /// resident or delivered.
+    pub fn with_faults(mut self, mask: FaultMask) -> Self {
+        debug_assert_eq!(mask.shape(), self.shape, "fault mask shape mismatch");
+        debug_assert!(
+            self.in_flight == 0 && self.delivered.is_empty() && self.stats.steps == 0,
+            "install faults before injecting"
+        );
+        self.faults = Some(mask);
+        self
+    }
+
+    /// The installed fault mask, if any.
+    pub fn faults(&self) -> Option<&FaultMask> {
+        self.faults.as_ref()
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&LinkTrace> {
+        self.trace.as_ref()
+    }
+
+    /// The mesh shape.
+    #[inline]
+    pub fn shape(&self) -> MeshShape {
+        self.shape
+    }
+
+    /// Places a packet at `src`. Both `src` and the packet destination
+    /// must lie inside the packet's bounds. With a fault mask installed,
+    /// packets originating at or addressed to dead nodes are dropped on
+    /// the spot.
+    pub fn inject(&mut self, src: Coord, pkt: Packet) {
+        debug_assert!(pkt.bounds.contains(src), "source outside bounds");
+        debug_assert!(pkt.bounds.contains(pkt.dest), "destination outside bounds");
+        if let Some(mask) = &self.faults {
+            if mask.node_dead(self.shape.index(src)) || mask.node_dead(self.shape.index(pkt.dest)) {
+                self.stats.dropped += 1;
+                return;
             }
         }
-        for (node, fl) in moves {
+        // Detours around faults may not exceed twice the bounding-box
+        // perimeter — enough to round any blocked region, small enough to
+        // guarantee termination.
+        let budget = 2 * (pkt.bounds.rows + pkt.bounds.cols) + 8;
+        self.in_flight += 1;
+        self.resident[self.shape.index(src) as usize].push(Flight {
+            pkt,
+            detours: 0,
+            budget,
+            last_dir: None,
+        });
+    }
+
+    /// Packets not yet delivered.
+    #[inline]
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Runs until every packet is delivered or the budget is exhausted.
+    /// Returns the stats accumulated by this run (also kept in
+    /// [`Engine::stats`]). With more than one configured thread the rows
+    /// are sharded across a scoped worker pool; the outcome is
+    /// byte-identical either way.
+    pub fn run(&mut self, max_steps: u64) -> Result<EngineStats, EngineError> {
+        // Deliver packets already at their destination (zero-distance).
+        self.absorb_arrivals();
+        let bands = self.threads.max(1).min(self.shape.rows as usize);
+        if bands <= 1 || self.in_flight == 0 {
+            while self.in_flight > 0 {
+                if self.stats.steps >= max_steps {
+                    return Err(EngineError::StepBudgetExceeded {
+                        max_steps,
+                        in_flight: self.in_flight,
+                    });
+                }
+                self.step();
+            }
+            return Ok(self.stats);
+        }
+        self.run_parallel(max_steps, bands)
+    }
+
+    /// Stats accumulated so far.
+    #[inline]
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Drains and returns the delivered packets (destination node index,
+    /// packet).
+    pub fn take_delivered(&mut self) -> Vec<(u32, Packet)> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// Sequential absorb over the whole mesh (run start and the
+    /// single-band step loop).
+    fn absorb_arrivals(&mut self) {
+        let mut out = BandScratch::default();
+        absorb_band(
+            self.shape,
+            self.faults.as_ref(),
+            &mut self.resident,
+            0,
+            &mut out,
+        );
+        self.fold_absorbed(out);
+    }
+
+    /// Folds one band's drop/delivery deltas into the engine counters.
+    fn fold_absorbed(&mut self, mut out: BandScratch) {
+        self.in_flight -= out.dropped + out.delivered.len() as u64;
+        self.stats.dropped += out.dropped;
+        self.stats.delivered += out.delivered.len() as u64;
+        self.delivered.append(&mut out.delivered);
+    }
+
+    /// One sequential synchronous step: the one-band instance of the
+    /// sharded step (same compute/apply/absorb code as the workers).
+    fn step(&mut self) {
+        let ctx = StepCtx {
+            shape: self.shape,
+            faults: self.faults.as_ref(),
+            step: self.stats.steps,
+        };
+        let mut out = BandScratch::with_bands(1);
+        compute_band(
+            &ctx,
+            &mut self.resident,
+            0,
+            self.trace.as_mut().map(LinkTrace::counts_mut),
+            |_| 0,
+            &mut out,
+        );
+        self.stats.total_hops += out.hops;
+        self.stats.dropped += out.dropped;
+        self.in_flight -= out.dropped;
+        for (node, fl) in out.moves.pop().expect("single band") {
             self.resident[node as usize].push(fl);
         }
         self.stats.steps += 1;
@@ -402,6 +588,150 @@ impl Engine {
             self.stats.max_queue = self.stats.max_queue.max(q.len());
         }
         self.absorb_arrivals();
+    }
+
+    /// The sharded step loop: `bands` workers on a scoped pool, double
+    /// buffering each step through per-band-pair handoff queues (module
+    /// docs explain why the result is byte-identical to [`Engine::step`]).
+    fn run_parallel(&mut self, max_steps: u64, bands: usize) -> Result<EngineStats, EngineError> {
+        let shape = self.shape;
+        let rows = shape.rows as usize;
+        let cols = shape.cols;
+        // Contiguous near-equal row bands: band b owns rows
+        // [b·rows/B, (b+1)·rows/B), hence a contiguous node range.
+        let row_start = |b: usize| b * rows / bands;
+        let node_starts: Vec<u32> = (0..=bands).map(|b| row_start(b) as u32 * cols).collect();
+        let mut row_band = vec![0usize; rows];
+        for b in 0..bands {
+            row_band[row_start(b)..row_start(b + 1)].fill(b);
+        }
+
+        // Split the borrows field by field so the workers can own their
+        // band slices while the coordinator keeps the counters.
+        let faults = self.faults.as_ref();
+        let stats = &mut self.stats;
+        let delivered_all = &mut self.delivered;
+        let in_flight = &mut self.in_flight;
+        let mut band_queues: Vec<&mut [Vec<Flight>]> = Vec::with_capacity(bands);
+        let mut rest: &mut [Vec<Flight>] = &mut self.resident;
+        for b in 0..bands {
+            let (head, tail) = rest.split_at_mut((node_starts[b + 1] - node_starts[b]) as usize);
+            band_queues.push(head);
+            rest = tail;
+        }
+        let mut band_trace: Vec<Option<&mut [[u64; 4]]>> = match self.trace.as_mut() {
+            None => (0..bands).map(|_| None).collect(),
+            Some(t) => {
+                let mut v = Vec::with_capacity(bands);
+                let mut rest: &mut [[u64; 4]] = t.counts_mut();
+                for b in 0..bands {
+                    let (head, tail) =
+                        rest.split_at_mut((node_starts[b + 1] - node_starts[b]) as usize);
+                    v.push(Some(head));
+                    rest = tail;
+                }
+                v
+            }
+        };
+
+        // `barrier_all` frames a step (coordinator + workers); the
+        // workers-only barrier separates the compute and apply
+        // half-steps so no handoff queue is drained before it is full.
+        let barrier_all = Barrier::new(bands + 1);
+        let barrier_workers = Barrier::new(bands);
+        let stop = AtomicBool::new(false);
+        // handoff[src][dst]: flights leaving band `src` for band `dst`
+        // this step, in source-node order. Locks are uncontended: `src`
+        // fills its slot during compute, `dst` drains after the barrier.
+        let handoff: Vec<Mutex<BandMoves>> = (0..bands)
+            .map(|_| Mutex::new((0..bands).map(|_| Vec::new()).collect()))
+            .collect();
+        let results: Vec<Mutex<BandScratch>> = (0..bands)
+            .map(|_| Mutex::new(BandScratch::default()))
+            .collect();
+        let start_step = stats.steps;
+        let row_band = &row_band;
+        let node_starts = &node_starts;
+        let barrier_all = &barrier_all;
+        let barrier_workers = &barrier_workers;
+        let stop = &stop;
+        let handoff = &handoff;
+        let results = &results;
+
+        std::thread::scope(|scope| {
+            for (b, (queues, mut trace)) in band_queues
+                .into_iter()
+                .zip(band_trace.drain(..))
+                .enumerate()
+            {
+                scope.spawn(move || {
+                    let node0 = node_starts[b];
+                    let band_of = |idx: u32| row_band[(idx / cols) as usize];
+                    let mut step = start_step;
+                    loop {
+                        barrier_all.wait();
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let ctx = StepCtx {
+                            shape,
+                            faults,
+                            step,
+                        };
+                        let mut out = BandScratch::with_bands(bands);
+                        compute_band(&ctx, queues, node0, trace.as_deref_mut(), band_of, &mut out);
+                        // Publish this band's outgoing moves.
+                        std::mem::swap(&mut *handoff[b].lock().unwrap(), &mut out.moves);
+                        barrier_workers.wait();
+                        // Drain incoming moves in fixed source-band order:
+                        // concatenated, they reproduce the sequential
+                        // engine's ascending global node scan.
+                        for src_slot in handoff.iter() {
+                            let incoming = std::mem::take(&mut src_slot.lock().unwrap()[b]);
+                            for (node, fl) in incoming {
+                                queues[(node - node0) as usize].push(fl);
+                            }
+                        }
+                        for q in queues.iter() {
+                            out.max_queue = out.max_queue.max(q.len());
+                        }
+                        absorb_band(shape, faults, queues, node0, &mut out);
+                        *results[b].lock().unwrap() = out;
+                        step += 1;
+                        barrier_all.wait();
+                    }
+                });
+            }
+            // Coordinator: frame the steps and fold the per-band deltas
+            // in band order (= node order) after each one.
+            loop {
+                if *in_flight == 0 {
+                    stop.store(true, Ordering::Release);
+                    barrier_all.wait();
+                    return Ok(*stats);
+                }
+                if stats.steps >= max_steps {
+                    stop.store(true, Ordering::Release);
+                    barrier_all.wait();
+                    return Err(EngineError::StepBudgetExceeded {
+                        max_steps,
+                        in_flight: *in_flight,
+                    });
+                }
+                barrier_all.wait(); // release the workers into the step
+                barrier_all.wait(); // wait for every band to finish
+                stats.steps += 1;
+                for slot in results.iter() {
+                    let mut out = slot.lock().unwrap();
+                    stats.total_hops += out.hops;
+                    stats.dropped += out.dropped;
+                    stats.delivered += out.delivered.len() as u64;
+                    stats.max_queue = stats.max_queue.max(out.max_queue);
+                    *in_flight -= out.dropped + out.delivered.len() as u64;
+                    delivered_all.append(&mut out.delivered);
+                }
+            }
+        })
     }
 }
 
@@ -686,5 +1016,82 @@ mod tests {
             e.run(10_000).unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    /// Full-observable equivalence of the sharded and sequential loops
+    /// on a contended instance with faults; the randomized version lives
+    /// in `tests/parallel_equivalence.rs`.
+    #[test]
+    fn sharded_run_matches_sequential() {
+        let shape = MeshShape::square(16);
+        let run = |threads: usize| {
+            let mut mask = FaultMask::new(shape).with_salt(3);
+            mask.kill_node(Coord::new(5, 5));
+            mask.sever_link(Coord::new(9, 9), Dir::East);
+            mask.degrade_link(Coord::new(0, 3), Dir::East, 300);
+            let mut e = Engine::new(shape)
+                .with_threads(threads)
+                .with_trace()
+                .with_faults(mask);
+            let b = full_bounds(shape);
+            let mut id = 0u64;
+            for r in 0..16 {
+                for c in 0..16 {
+                    e.inject(Coord::new(r, c), mk(id, Coord::new(c, r), b));
+                    // A second wave converging on one corner.
+                    e.inject(Coord::new(r, c), mk(id + 256, Coord::new(0, 0), b));
+                    id += 1;
+                }
+            }
+            let stats = e.run(10_000).unwrap();
+            let trace = e.trace().cloned().unwrap();
+            (stats, e.take_delivered(), trace)
+        };
+        let seq = run(1);
+        for threads in [2, 3, 5, 16] {
+            assert_eq!(seq, run(threads), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn thread_count_is_clamped_and_reported() {
+        let e = Engine::new(MeshShape::square(4)).with_threads(0);
+        assert_eq!(e.threads(), 1);
+        assert_eq!(
+            Engine::new(MeshShape::square(4)).with_threads(7).threads(),
+            7
+        );
+    }
+
+    /// More workers than rows: the band count clamps to the row count
+    /// and the run still matches the sequential outcome.
+    #[test]
+    fn more_threads_than_rows_is_fine() {
+        let shape = MeshShape { rows: 3, cols: 9 };
+        let run = |threads: usize| {
+            let mut e = Engine::new(shape).with_threads(threads);
+            let b = full_bounds(shape);
+            for i in 0..27u64 {
+                let src = shape.coord(i as u32);
+                let dst = shape.coord(26 - i as u32);
+                e.inject(src, mk(i, dst, b));
+            }
+            let stats = e.run(10_000).unwrap();
+            (stats, e.take_delivered())
+        };
+        assert_eq!(run(1), run(64));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "install faults before injecting")]
+    fn with_faults_after_inject_panics() {
+        let shape = MeshShape::square(4);
+        let mut e = Engine::new(shape);
+        e.inject(
+            Coord::new(0, 0),
+            mk(0, Coord::new(1, 1), full_bounds(shape)),
+        );
+        let _ = e.with_faults(FaultMask::new(shape));
     }
 }

@@ -9,7 +9,7 @@
 use crate::topology::{Coord, Dir, MeshShape};
 
 /// Per-link traversal counts for one engine run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LinkTrace {
     shape: MeshShape,
     /// `counts[node][dir]`: packets sent from `node` in direction `dir`.
@@ -29,6 +29,13 @@ impl LinkTrace {
     #[inline]
     pub fn record(&mut self, from: Coord, dir: Dir) {
         self.counts[self.shape.index(from) as usize][dir.index()] += 1;
+    }
+
+    /// Mutable per-source-node counts, row-major; the engine's banded
+    /// step loop slices this so each worker records its own rows.
+    #[inline]
+    pub(crate) fn counts_mut(&mut self) -> &mut [[u64; 4]] {
+        &mut self.counts
     }
 
     /// Traversals out of `from` in direction `dir`.

@@ -4,12 +4,13 @@
 //! prasim simulate  --n 1024 --memory 9000 [--q 3] [--k 2] [--steps 2]
 //!                  [--workload random|adversarial|strided] [--seed 42]
 //!                  [--slack 1.0] [--analytic]
-//!                  [--policy freshest|quorum]
+//!                  [--policy freshest|quorum] [--threads N]
 //!                  [--dead N] [--sever N] [--lossy N]
 //!                  [--corrupt N] [--freeze N]
 //!                  [--fault-seed S] [--fault-from T]
 //! prasim structure --n 1024 --d 5 [--q 3] [--k 2]
 //! prasim route     --n 1024 [--l1 1] [--algo greedy|flat|hier] [--parts 16]
+//!                  [--threads N]
 //! prasim bibd      --q 3 --d 2 [--m 8] [--dot]
 //! ```
 //!
@@ -19,6 +20,8 @@
 //! variable the run touches. `--fault-from` delays activation to the
 //! given PRAM step (steps are 1-based). `--policy quorum` reads through
 //! Definition 2's hierarchical majority instead of freshest-timestamp.
+//! `--threads N` shards the mesh engines across N workers (default:
+//! available parallelism); the output is byte-identical for every N.
 
 use prasim::bibd::{Bibd, BibdSubgraph};
 use prasim::core::{workload, PramMeshSim, ReadPolicy, SimConfig};
@@ -93,6 +96,16 @@ impl Args {
     fn has(&self, switch: &str) -> bool {
         self.switches.iter().any(|s| s == switch)
     }
+
+    /// Resolves `--threads` (default: available parallelism) and
+    /// installs it as the process-wide engine default, so engines built
+    /// deep inside the routing and protocol stages pick it up too.
+    fn install_threads(&self) -> usize {
+        let default = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let threads = (self.get_u64("threads", default as u64) as usize).max(1);
+        prasim::mesh::engine::set_global_threads(threads);
+        threads
+    }
 }
 
 fn die(msg: &str) -> ! {
@@ -144,7 +157,8 @@ fn cmd_simulate(args: &Args) -> ExitCode {
         .with_k(args.get_u64("k", 2) as u32)
         .with_culling_slack(args.get_f64("slack", 1.0))
         .with_analytic_sort(args.has("analytic"))
-        .with_read_policy(policy);
+        .with_read_policy(policy)
+        .with_threads(args.install_threads());
     let mut sim = match PramMeshSim::new(config) {
         Ok(s) => s,
         Err(e) => die(&format!("{e}")),
@@ -340,6 +354,7 @@ fn cmd_route(args: &Args) -> ExitCode {
         Some(s) => s,
         None => die("--n must be a perfect square"),
     };
+    args.install_threads();
     let l1 = args.get_u64("l1", 1);
     let seed = args.get_u64("seed", 7);
     let inst = RoutingInstance::random(shape, l1, seed);
