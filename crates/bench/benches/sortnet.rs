@@ -1,8 +1,10 @@
-//! Benchmarks of the sorting substrate: shearsort wall-clock and
-//! simulated-step scaling (the dominant term in every protocol phase).
+//! Benchmarks of the sorting substrate: shearsort and the step-simulated
+//! columnsort, wall-clock scaling (the dominant term in every protocol
+//! phase).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use prasim_routing::problem::SplitMix64;
+use prasim_sortnet::columnsort_mesh;
 use prasim_sortnet::rank::rank_sorted;
 use prasim_sortnet::shearsort::shearsort;
 
@@ -29,6 +31,26 @@ fn bench_shearsort(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_columnsort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sortnet/columnsort");
+    for &side in &[16u32, 32, 64] {
+        for &h in &[1usize, 4, 9] {
+            // Warm the permutation-cost cache outside the timing loop:
+            // route measurement happens once per shape, not per sort.
+            let mut warm = grid(side, h, 42);
+            columnsort_mesh(&mut warm, side, side, h);
+            g.bench_function(format!("side{side}_h{h}"), |b| {
+                b.iter_batched(
+                    || grid(side, h, 42),
+                    |mut items| black_box(columnsort_mesh(&mut items, side, side, h)),
+                    criterion::BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
 fn bench_rank(c: &mut Criterion) {
     let mut g = c.benchmark_group("sortnet/rank");
     let side = 32u32;
@@ -43,5 +65,5 @@ fn bench_rank(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_shearsort, bench_rank);
+criterion_group!(benches, bench_shearsort, bench_columnsort, bench_rank);
 criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (T1–T16) of EXPERIMENTS.md.
+//! Regenerates every experiment table (T1–T17) of EXPERIMENTS.md.
 //!
 //! ```sh
 //! cargo run --release -p prasim-bench --bin reproduce            # standard sizes
@@ -6,12 +6,21 @@
 //! cargo run --release -p prasim-bench --bin reproduce -- full    # adds n = 65536 points
 //! cargo run --release -p prasim-bench --bin reproduce -- T4 T6   # selected tables
 //! cargo run --release -p prasim-bench --bin reproduce -- quick T12 --threads 8
+//! cargo run --release -p prasim-bench --bin reproduce -- T2 --sorter shearsort
 //! ```
 //!
 //! `--threads N` shards every mesh engine across N workers (default:
 //! available parallelism). The tables are byte-identical for every
 //! value — the CI determinism matrix diffs selected tables across
 //! `--threads 1/2/8` to prove it; only T16's wall-clock columns vary.
+//!
+//! `--sorter shearsort|columnsort` selects the mesh sorter behind every
+//! sort phase (default: columnsort). The CI sorter matrix regenerates
+//! T2/T17 under both and diffs each against its committed golden.
+//!
+//! Whenever T17 runs, its data is also written to `BENCH_sorters.json`
+//! (machine-readable step counts per sorter per `n`) in the working
+//! directory.
 
 use prasim_bench::tables::{self, Table};
 
@@ -28,6 +37,12 @@ fn main() {
                 .filter(|&t| t > 0)
                 .expect("--threads needs a positive integer");
             threads = v;
+        } else if a == "--sorter" {
+            let s: prasim_sortnet::Sorter = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--sorter needs shearsort|columnsort");
+            prasim_sortnet::set_global_sorter(s);
         } else {
             args.push(a);
         }
@@ -125,6 +140,17 @@ fn main() {
         // table is part of the determinism contract.
         let (n, ppn) = if quick { (1024, 8) } else { (4096, 16) };
         out.push(tables::t16_parallel_speedup(n, ppn, &[1, 2, 4, 8]));
+    }
+    if want("T17") {
+        // Same sizes in quick and standard: the columnsort crossover sits
+        // between n = 4096 and 16384, so the win must be visible in CI too.
+        let mut t17_ns: Vec<u64> = vec![256, 1024, 4096, 16384];
+        if full {
+            t17_ns.push(65536);
+        }
+        let (table, json) = tables::t17_sorters(&t17_ns);
+        out.push(table);
+        std::fs::write("BENCH_sorters.json", json).expect("write BENCH_sorters.json");
     }
 
     println!("# prasim — reproduced results\n");

@@ -101,6 +101,7 @@ pub fn t1_slowdown(sizes: &[(u64, u32)], k: u32, analytic: bool) -> Table {
             "fit (random): T ≈ {:.1}·n^{:.3} (R² = {:.3}); fit (adversarial): T ≈ {:.1}·n^{:.3} (R² = {:.3})",
             cr, er, r_squared(&rand_pts, er, cr), ca, ea, r_squared(&adv_pts, ea, ca)
         ));
+        let sorter = prasim_sortnet::default_sorter();
         notes.push(format!(
             "paper exponent at mean α = {:.3}, k = {}: {:.3}; diameter floor exponent: 0.500 \
              ({})",
@@ -108,9 +109,19 @@ pub fn t1_slowdown(sizes: &[(u64, u32)], k: u32, analytic: bool) -> Table {
             k,
             theorem1_exponent(mean_alpha),
             if analytic {
-                "sorting charged at the paper's l·√n bound"
+                "sorting charged at the paper's l·√n bound".to_string()
             } else {
-                "measured exponents include the shearsort log factor — DESIGN.md §4"
+                match sorter {
+                    prasim_sortnet::Sorter::Shearsort => {
+                        "measured exponents include the shearsort log factor — DESIGN.md §4"
+                            .to_string()
+                    }
+                    prasim_sortnet::Sorter::Columnsort => {
+                        "measured with the step-simulated columnsort — no log-factor caveat, \
+                         DESIGN.md §4"
+                            .to_string()
+                    }
+                }
             }
         ));
     }
@@ -119,9 +130,9 @@ pub fn t1_slowdown(sizes: &[(u64, u32)], k: u32, analytic: bool) -> Table {
         title: format!(
             "Theorem 1/4 — simulation slowdown, k = {k}{}",
             if analytic {
-                " (analytic sort accounting — the paper's cost model)"
+                " (analytic sort accounting — the paper's cost model)".to_string()
             } else {
-                " (measured shearsort)"
+                format!(" (measured {})", prasim_sortnet::default_sorter())
             }
         ),
         header: [
@@ -168,8 +179,12 @@ pub fn t2_routing(ns: &[u64], l1s: &[u64]) -> Table {
         }
         if ns.len() >= 2 {
             let (e, c) = power_fit(&pts);
+            let caveat = match prasim_sortnet::default_sorter() {
+                prasim_sortnet::Sorter::Shearsort => " up to the sort's log factor",
+                prasim_sortnet::Sorter::Columnsort => "",
+            };
             notes.push(format!(
-                "l1 = {l1}: measured T ≈ {c:.2}·n^{e:.3} (theorem shape: n^0.5 up to the sort's log factor)"
+                "l1 = {l1}: measured T ≈ {c:.2}·n^{e:.3} (theorem shape: n^0.5{caveat})"
             ));
         }
     }
@@ -330,8 +345,12 @@ pub fn t5_culling_time(sizes: &[(u64, u32)], k: u32) -> Table {
     let mut notes = Vec::new();
     if sizes.len() >= 2 {
         let (e, c) = power_fit(&pts);
+        let caveat = match prasim_sortnet::default_sorter() {
+            prasim_sortnet::Sorter::Shearsort => " + the shearsort log factor",
+            prasim_sortnet::Sorter::Columnsort => "",
+        };
         notes.push(format!(
-            "fit: T_culling ≈ {c:.2}·n^{e:.3} (Eq. 2 predicts exponent 0.5 + the shearsort log factor)"
+            "fit: T_culling ≈ {c:.2}·n^{e:.3} (Eq. 2 predicts exponent 0.5{caveat})"
         ));
     }
     Table {
@@ -1073,4 +1092,109 @@ pub fn t16_parallel_speedup(n: u64, packets_per_node: u64, threads: &[usize]) ->
                 .into(),
         ],
     }
+}
+
+/// **T17 (sorter comparison).** Step-simulated columnsort against
+/// merge-split shearsort on identical random inputs (`h = 1` key per
+/// node), with fitted growth exponents. Also returns the table as a
+/// machine-readable JSON document (`BENCH_sorters.json`).
+pub fn t17_sorters(ns: &[u64]) -> (Table, String) {
+    use prasim_sortnet::Sorter;
+    let sorters = [Sorter::Shearsort, Sorter::Columnsort];
+    let mut steps: Vec<Vec<u64>> = vec![Vec::new(); sorters.len()];
+    let mut rows = Vec::new();
+    for &n in ns {
+        let shape = MeshShape::square_of(n).expect("square n");
+        let mut rng = SplitMix64(0x50F7 ^ n);
+        let input: Vec<Vec<u64>> = (0..n).map(|_| vec![rng.next_u64()]).collect();
+        let mut row = vec![n.to_string()];
+        for (si, s) in sorters.iter().enumerate() {
+            let mut items = input.clone();
+            let cost = s.sort(&mut items, shape.rows, shape.cols, 1);
+            assert!(
+                items
+                    .iter()
+                    .flatten()
+                    .collect::<Vec<_>>()
+                    .windows(2)
+                    .all(|w| w[0] <= w[1]),
+                "{s} failed to sort n = {n}"
+            );
+            steps[si].push(cost.steps);
+            row.push(cost.steps.to_string());
+        }
+        let last = steps.iter().map(|v| *v.last().unwrap()).collect::<Vec<_>>();
+        row.push(format!("{:.3}", last[1] as f64 / last[0] as f64));
+        rows.push(row);
+    }
+    let mut notes = Vec::new();
+    let mut fits = Vec::new();
+    for (si, s) in sorters.iter().enumerate() {
+        let pts: Vec<(f64, f64)> = ns
+            .iter()
+            .zip(&steps[si])
+            .map(|(&n, &t)| (n as f64, t as f64))
+            .collect();
+        let (e, c) = if pts.len() >= 2 {
+            power_fit(&pts)
+        } else {
+            (f64::NAN, f64::NAN)
+        };
+        fits.push(e);
+        if pts.len() >= 2 {
+            notes.push(format!(
+                "{s}: T ≈ {c:.2}·n^{e:.3} (R² = {:.3})",
+                r_squared(&pts, e, c)
+            ));
+        }
+    }
+    if let [shear_e, col_e] = fits[..] {
+        let largest = *ns.last().unwrap();
+        let (shear_t, col_t) = (*steps[0].last().unwrap(), *steps[1].last().unwrap());
+        notes.push(format!(
+            "at n = {largest}: columnsort {col_t} vs shearsort {shear_t} steps ({}); \
+             columnsort's fitted exponent {col_e:.3} vs shearsort's {shear_e:.3} — \
+             the log factor is gone",
+            if col_t < shear_t {
+                "columnsort wins"
+            } else {
+                "crossover not yet reached at this size"
+            }
+        ));
+    }
+    let json_sorters: Vec<String> = sorters
+        .iter()
+        .enumerate()
+        .map(|(si, s)| {
+            let points: Vec<String> = ns
+                .iter()
+                .zip(&steps[si])
+                .map(|(n, t)| format!("{{\"n\": {n}, \"steps\": {t}}}"))
+                .collect();
+            format!(
+                "    {{\"name\": \"{s}\", \"exponent\": {:.4}, \"points\": [{}]}}",
+                fits[si],
+                points.join(", ")
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"T17\",\n  \"h\": 1,\n  \"sorters\": [\n{}\n  ]\n}}\n",
+        json_sorters.join(",\n")
+    );
+    (
+        Table {
+            id: "T17",
+            title: "sorter comparison — step-simulated columnsort vs merge-split shearsort \
+                    (h = 1)"
+                .into(),
+            header: ["n", "shearsort steps", "columnsort steps", "col/shear"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            rows,
+            notes,
+        },
+        json,
+    )
 }

@@ -20,8 +20,8 @@ use prasim_mesh::engine::{Engine, EngineError, Packet};
 use prasim_mesh::region::Rect;
 use prasim_mesh::topology::{Coord, MeshShape};
 use prasim_routing::problem::SplitMix64;
-use prasim_sortnet::shearsort::shearsort;
 use prasim_sortnet::snake::{snake_coord, snake_index};
+use prasim_sortnet::sorter::{default_sorter, Sorter};
 use std::collections::HashMap;
 
 /// What a baseline measures for one PRAM step.
@@ -56,6 +56,7 @@ fn route_packets(
     shape: MeshShape,
     pkts: &[(u32, u32)],
     max_steps: u64,
+    sorter: Sorter,
 ) -> Result<(u64, u64, u64, usize), EngineError> {
     let n = shape.nodes() as usize;
     let h = pkts
@@ -75,7 +76,7 @@ fn route_packets(
         let dc = shape.coord(d);
         items[pos].push((snake_index(shape.cols, dc.r, dc.c) as u64, i as u64));
     }
-    let cost = shearsort(&mut items, shape.rows, shape.cols, h);
+    let cost = sorter.sort(&mut items, shape.rows, shape.cols, h);
     let mut engine = Engine::new(shape);
     let bounds = Rect::full(shape);
     for (pos, buf) in items.iter().enumerate() {
@@ -113,6 +114,7 @@ pub struct SingleCopySim {
     num_variables: u64,
     memory: Vec<HashMap<u64, u64>>,
     max_engine_steps: u64,
+    sorter: Sorter,
 }
 
 impl SingleCopySim {
@@ -124,7 +126,14 @@ impl SingleCopySim {
             num_variables,
             memory: vec![HashMap::new(); n as usize],
             max_engine_steps: 100_000_000,
+            sorter: default_sorter(),
         })
+    }
+
+    /// Selects the mesh sorter of the pre-routing sort.
+    pub fn with_sorter(mut self, sorter: Sorter) -> Self {
+        self.sorter = sorter;
+        self
     }
 
     /// The home node of a variable.
@@ -149,7 +158,7 @@ impl BaselineScheme for SingleCopySim {
             .filter_map(|(p, op)| op.map(|o| (p as u32, self.home(o.var()))))
             .collect();
         let (sort_steps, route_steps, access_steps, _q) =
-            route_packets(self.shape, &pkts, self.max_engine_steps)?;
+            route_packets(self.shape, &pkts, self.max_engine_steps, self.sorter)?;
         let mut reads = vec![None; step.ops.len()];
         for (p, op) in step.ops.iter().enumerate() {
             match op {
@@ -187,6 +196,7 @@ pub struct MehlhornVishkinSim {
     c: u32,
     memory: Vec<HashMap<u64, u64>>,
     max_engine_steps: u64,
+    sorter: Sorter,
 }
 
 impl MehlhornVishkinSim {
@@ -200,7 +210,14 @@ impl MehlhornVishkinSim {
             c,
             memory: vec![HashMap::new(); n as usize],
             max_engine_steps: 100_000_000,
+            sorter: default_sorter(),
         })
+    }
+
+    /// Selects the mesh sorter of the pre-routing sort.
+    pub fn with_sorter(mut self, sorter: Sorter) -> Self {
+        self.sorter = sorter;
+        self
     }
 
     /// The `j`-th copy home of a variable (deterministic mix).
@@ -244,7 +261,7 @@ impl BaselineScheme for MehlhornVishkinSim {
             }
         }
         let (sort_steps, route_steps, access_steps, _q) =
-            route_packets(self.shape, &pkts, self.max_engine_steps)?;
+            route_packets(self.shape, &pkts, self.max_engine_steps, self.sorter)?;
         let mut reads = vec![None; step.ops.len()];
         for (p, op) in step.ops.iter().enumerate() {
             match op {
@@ -286,6 +303,7 @@ pub struct FlatHmosSim {
     memory: Vec<HashMap<u64, (u64, u64)>>,
     clock: u64,
     max_engine_steps: u64,
+    sorter: Sorter,
 }
 
 impl FlatHmosSim {
@@ -303,7 +321,14 @@ impl FlatHmosSim {
             spec,
             clock: 0,
             max_engine_steps: 100_000_000,
+            sorter: default_sorter(),
         })
+    }
+
+    /// Selects the mesh sorter of the pre-routing sort.
+    pub fn with_sorter(mut self, sorter: Sorter) -> Self {
+        self.sorter = sorter;
+        self
     }
 
     /// Number of addressable variables.
@@ -347,7 +372,7 @@ impl BaselineScheme for FlatHmosSim {
             }
         }
         let (sort_steps, route_steps, access_steps, _q) =
-            route_packets(shape, &pkts, self.max_engine_steps)?;
+            route_packets(shape, &pkts, self.max_engine_steps, self.sorter)?;
         let mut best: Vec<Option<(u64, u64)>> = vec![None; step.ops.len()];
         for &(p, node, slot) in &cells {
             match step.ops[p] {

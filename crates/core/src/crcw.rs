@@ -12,7 +12,6 @@
 use crate::crew::{step_crew, CrewReport};
 use crate::pram::{Op, PramStep};
 use crate::sim::{PramMeshSim, SimError};
-use prasim_sortnet::shearsort::shearsort;
 use prasim_sortnet::snake::snake_index;
 
 /// How concurrent writes to one variable combine.
@@ -85,7 +84,10 @@ pub fn step_crcw(
             h = h.max(items[pos].len());
         }
     }
-    let sort_cost = shearsort(&mut items, shape.rows, shape.cols, h);
+    let sort_cost = sim
+        .config()
+        .sorter
+        .sort(&mut items, shape.rows, shape.cols, h);
     // Segmented reduce along the snake order; leader = first writer.
     let mut combined: std::collections::HashMap<u64, (u32, u64)> = std::collections::HashMap::new();
     for buf in &items {

@@ -23,7 +23,6 @@ use crate::sim::{PramMeshSim, SimError, StepReport};
 use prasim_mesh::engine::{Engine, Packet};
 use prasim_mesh::region::Rect;
 use prasim_sortnet::broadcast::segmented_broadcast;
-use prasim_sortnet::shearsort::shearsort;
 use prasim_sortnet::snake::{snake_coord, snake_index};
 
 /// Measurements of one CREW step.
@@ -89,7 +88,10 @@ pub fn step_crew(sim: &mut PramMeshSim, step: &PramStep) -> Result<CrewReport, S
             h = h.max(items[pos].len());
         }
     }
-    let sort1 = shearsort(&mut items, shape.rows, shape.cols, h);
+    let sort1 = sim
+        .config()
+        .sorter
+        .sort(&mut items, shape.rows, shape.cols, h);
     // Representatives: first requester of each contiguous segment.
     let mut representative: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
     for buf in &items {
@@ -150,7 +152,10 @@ pub fn step_crew(sim: &mut PramMeshSim, step: &PramStep) -> Result<CrewReport, S
             h2 = h2.max(items2[pos].len());
         }
     }
-    let sort2 = shearsort(&mut items2, shape.rows, shape.cols, h2);
+    let sort2 = sim
+        .config()
+        .sorter
+        .sort(&mut items2, shape.rows, shape.cols, h2);
     let bcast = segmented_broadcast(
         &mut items2,
         shape.rows,

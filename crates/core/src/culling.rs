@@ -11,16 +11,16 @@
 //! page loads by `4·q^k·n^{1-1/2^i}`.
 //!
 //! The paper executes the marking with a parallel sort-and-rank of the
-//! copies by destination page; we do exactly that (shearsort + segmented
-//! rank on the full mesh) so the reported culling time is a *measured*
-//! quantity with the Eq. (2) shape `O(k·q^k·√n)`.
+//! copies by destination page; we do exactly that (the configured mesh
+//! sorter + segmented rank on the full mesh) so the reported culling
+//! time is a *measured* quantity with the Eq. (2) shape `O(k·q^k·√n)`.
 
 use prasim_hmos::{CopyAddr, Hmos, TargetSpec};
 use prasim_mesh::topology::MeshShape;
 use prasim_routing::problem::SplitMix64;
 use prasim_sortnet::rank::rank_sorted;
-use prasim_sortnet::shearsort::shearsort;
 use prasim_sortnet::snake::snake_index;
+use prasim_sortnet::sorter::{default_sorter, Sorter};
 
 /// A culled copy with its resolved physical address.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -122,11 +122,23 @@ pub fn select_all(hmos: &Hmos, requests: &[Option<u64>]) -> CullingOutcome {
     }
 }
 
+/// Runs CULLING with the process default sorter — see [`cull_with`].
+pub fn cull(hmos: &Hmos, requests: &[Option<u64>], slack: f64, analytic: bool) -> CullingOutcome {
+    cull_with(hmos, requests, slack, analytic, default_sorter())
+}
+
 /// Runs CULLING for the requested variables (`requests[p]` is processor
 /// `p`'s variable). `slack` scales the marking bound (1.0 = the paper's
 /// constant; smaller values stress the fallback path — used by the
-/// ablation benches).
-pub fn cull(hmos: &Hmos, requests: &[Option<u64>], slack: f64, analytic: bool) -> CullingOutcome {
+/// ablation benches). `sorter` selects the step-simulated mesh sorter
+/// the marking sorts run on.
+pub fn cull_with(
+    hmos: &Hmos,
+    requests: &[Option<u64>],
+    slack: f64,
+    analytic: bool,
+    sorter: Sorter,
+) -> CullingOutcome {
     let params = hmos.params();
     let (q, k, n) = (params.q, params.k, params.n);
     let qk = params.redundancy();
@@ -193,7 +205,7 @@ pub fn cull(hmos: &Hmos, requests: &[Option<u64>], slack: f64, analytic: bool) -
             }
             h = h.max(items[pos].len());
         }
-        let sort_cost = shearsort(&mut items, shape.rows, shape.cols, h);
+        let sort_cost = sorter.sort(&mut items, shape.rows, shape.cols, h);
         let (ranks, _counts, rank_cost) =
             rank_sorted(&items, shape.rows, shape.cols, |&(page, _, _)| page);
 

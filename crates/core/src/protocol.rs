@@ -22,8 +22,9 @@ use prasim_mesh::engine::{Engine, EngineError, Packet};
 use prasim_mesh::region::Rect;
 use prasim_mesh::topology::Coord;
 use prasim_sortnet::rank::rank_sorted;
-use prasim_sortnet::shearsort::{shearsort, SortCost};
+use prasim_sortnet::shearsort::SortCost;
 use prasim_sortnet::snake::{snake_coord, snake_index};
+use prasim_sortnet::sorter::{default_sorter, Sorter};
 use std::collections::HashMap;
 
 /// A memory cell: `(value, timestamp)`; absent cells read as `(0, 0)`.
@@ -65,6 +66,9 @@ pub struct RunOptions<'a> {
     /// Worker threads the routing engines shard their rows across (1 =
     /// sequential; the results never depend on the value).
     pub threads: usize,
+    /// The step-simulated sorter the stage sorts run
+    /// ([`Sorter::Columnsort`] by default).
+    pub sorter: Sorter,
 }
 
 impl RunOptions<'static> {
@@ -77,6 +81,7 @@ impl RunOptions<'static> {
             policy: ReadPolicy::Freshest,
             faults: None,
             threads: prasim_mesh::engine::default_threads(),
+            sorter: default_sorter(),
         }
     }
 }
@@ -97,12 +102,19 @@ impl<'a> RunOptions<'a> {
             policy: self.policy,
             faults: Some(faults),
             threads: self.threads,
+            sorter: self.sorter,
         }
     }
 
     /// Sets the engine worker-thread count (clamped to at least 1).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Selects the mesh sorter for the protocol's stage sorts.
+    pub fn with_sorter(mut self, sorter: Sorter) -> Self {
+        self.sorter = sorter;
         self
     }
 }
@@ -211,6 +223,11 @@ pub fn access_protocol(
 
     let mut report = ProtocolReport::default();
 
+    // Scratch arena for the per-group snake-indexed buffers: grown to the
+    // largest submesh once, then reused across groups and stages so the
+    // per-stage Vec<Vec<…>> churn disappears from the hot loop.
+    let mut arena: Vec<Vec<(u32, u32)>> = Vec::new();
+
     // Stages k+1 down to 2: spread into the destination level-(i-1) pages.
     for stage in (2..=k + 1).rev() {
         // Group packets by their containing level-`stage` submesh.
@@ -239,8 +256,16 @@ pub fn access_protocol(
             } else {
                 hmos.pages(stage)[gk as usize].rect
             };
-            // Local snake-indexed buffers of (dest child page, pkt id).
-            let mut items: Vec<Vec<(u32, u32)>> = vec![Vec::new(); rect.area() as usize];
+            // Local snake-indexed buffers of (dest child page, pkt id),
+            // carved out of the reusable arena.
+            let area = rect.area() as usize;
+            if arena.len() < area {
+                arena.resize_with(area, Vec::new);
+            }
+            let items = &mut arena[..area];
+            for buf in items.iter_mut() {
+                buf.clear();
+            }
             let mut h = 1usize;
             for &id in &groups[&gk] {
                 let pkt = &pkts[id];
@@ -251,9 +276,9 @@ pub fn access_protocol(
                 items[pos].push((child, id as u32));
                 h = h.max(items[pos].len());
             }
-            let mut cost = shearsort(&mut items, rect.rows, rect.cols, h);
+            let mut cost = run.sorter.sort(items, rect.rows, rect.cols, h);
             let (ranks, _counts, rank_cost) =
-                rank_sorted(&items, rect.rows, rect.cols, |&(child, _)| child);
+                rank_sorted(items, rect.rows, rect.cols, |&(child, _)| child);
             cost.add(rank_cost);
             if cost.charged(analytic) > max_sort.charged(analytic) {
                 max_sort = cost;

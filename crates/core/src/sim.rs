@@ -1,6 +1,6 @@
 //! The simulator facade: configure once, then feed PRAM steps.
 
-use crate::culling::{cull, select_all, CullingReport};
+use crate::culling::{cull_with, select_all, CullingReport};
 use crate::pram::{Op, PramStep};
 use crate::protocol::{access_protocol, Cell, ProtocolReport, ReadPolicy, RunOptions};
 use prasim_fault::{FaultPlan, ReadOutcome, ReadRecord, TraceChecker, TraceReport, WriteRecord};
@@ -38,6 +38,11 @@ pub struct SimConfig {
     /// wall-clock time changes. Defaults to the process-wide
     /// [`prasim_mesh::engine::default_threads`].
     pub threads: usize,
+    /// The step-simulated mesh sorter CULLING and the access protocol
+    /// run on. Defaults to the process-wide
+    /// [`prasim_sortnet::default_sorter`] (columnsort unless
+    /// overridden).
+    pub sorter: prasim_sortnet::Sorter,
 }
 
 impl SimConfig {
@@ -54,12 +59,19 @@ impl SimConfig {
             analytic_sort: false,
             read_policy: ReadPolicy::Freshest,
             threads: prasim_mesh::engine::default_threads(),
+            sorter: prasim_sortnet::default_sorter(),
         }
     }
 
     /// Sets the engine worker-thread count (clamped to at least 1).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Selects the mesh sorter (`shearsort` or `columnsort`).
+    pub fn with_sorter(mut self, sorter: prasim_sortnet::Sorter) -> Self {
+        self.sorter = sorter;
         self
     }
 
@@ -272,11 +284,12 @@ impl PramMeshSim {
         // Freshest reads use the culled minimal target sets; majority
         // reads must see every copy so the quorum can out-vote faults.
         let culled = match self.config.read_policy {
-            ReadPolicy::Freshest => cull(
+            ReadPolicy::Freshest => cull_with(
                 &self.hmos,
                 &requests,
                 self.config.culling_slack,
                 self.config.analytic_sort,
+                self.config.sorter,
             ),
             ReadPolicy::HierarchicalMajority => select_all(&self.hmos, &requests),
         };
@@ -288,6 +301,7 @@ impl PramMeshSim {
             policy: self.config.read_policy,
             faults: self.fault_plan.as_ref(),
             threads: self.config.threads,
+            sorter: self.config.sorter,
         };
         let mut access =
             access_protocol(&self.hmos, &mut self.memory, &ops, &culled.selected, &run)?;

@@ -11,12 +11,22 @@ use crate::problem::{RoutingInstance, RoutingOutcome};
 use prasim_mesh::engine::{Engine, EngineError, Packet};
 use prasim_mesh::region::Rect;
 use prasim_mesh::topology::Coord;
-use prasim_sortnet::shearsort::shearsort;
 use prasim_sortnet::snake::{snake_coord, snake_index};
+use prasim_sortnet::sorter::{default_sorter, Sorter};
 
 /// Routes an `(l1, l2)` instance by sorting by destination and then
-/// greedy-routing from the balanced post-sort positions.
+/// greedy-routing from the balanced post-sort positions, using the
+/// process-wide default sorter.
 pub fn route_flat(inst: &RoutingInstance, max_steps: u64) -> Result<RoutingOutcome, EngineError> {
+    route_flat_with(inst, default_sorter(), max_steps)
+}
+
+/// [`route_flat`] with an explicit mesh sorter for the sort phase.
+pub fn route_flat_with(
+    inst: &RoutingInstance,
+    sorter: Sorter,
+    max_steps: u64,
+) -> Result<RoutingOutcome, EngineError> {
     let shape = inst.shape;
     let n = shape.nodes() as usize;
     let h = (inst.pairs.len().div_ceil(n.max(1)))
@@ -34,7 +44,7 @@ pub fn route_flat(inst: &RoutingInstance, max_steps: u64) -> Result<RoutingOutco
     }
 
     let mut out = RoutingOutcome::default();
-    let cost = shearsort(&mut items, shape.rows, shape.cols, h);
+    let cost = sorter.sort(&mut items, shape.rows, shape.cols, h);
     out.add_sort(cost.steps);
 
     // Greedy route from post-sort positions.

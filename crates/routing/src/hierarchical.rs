@@ -17,8 +17,9 @@ use prasim_mesh::engine::{Engine, EngineError, Packet};
 use prasim_mesh::region::{Rect, Tessellation};
 use prasim_mesh::topology::Coord;
 use prasim_sortnet::rank::rank_sorted;
-use prasim_sortnet::shearsort::{shearsort, SortCost};
+use prasim_sortnet::shearsort::SortCost;
 use prasim_sortnet::snake::{snake_coord, snake_index};
+use prasim_sortnet::sorter::{default_sorter, Sorter};
 
 /// Errors from hierarchical routing.
 #[derive(Debug)]
@@ -52,10 +53,21 @@ impl From<EngineError> for HierError {
 }
 
 /// Runs the 4-step `(l1, l2, δ, m)`-routing with the mesh divided into
-/// `parts` submeshes.
+/// `parts` submeshes, using the process-wide default sorter.
 pub fn route_hierarchical(
     inst: &RoutingInstance,
     parts: u64,
+    max_steps: u64,
+) -> Result<RoutingOutcome, HierError> {
+    route_hierarchical_with(inst, parts, default_sorter(), max_steps)
+}
+
+/// [`route_hierarchical`] with an explicit mesh sorter for the global
+/// and per-submesh sort phases.
+pub fn route_hierarchical_with(
+    inst: &RoutingInstance,
+    parts: u64,
+    sorter: Sorter,
     max_steps: u64,
 ) -> Result<RoutingOutcome, HierError> {
     let shape = inst.shape;
@@ -76,7 +88,7 @@ pub fn route_hierarchical(
         let key = owner[d as usize] as u64 * shape.nodes() + d as u64;
         items[pos].push((key, i as u64));
     }
-    let cost = shearsort(&mut items, shape.rows, shape.cols, h);
+    let cost = sorter.sort(&mut items, shape.rows, shape.cols, h);
     out.add_sort(cost.steps);
 
     // Rank within destination-submesh groups.
@@ -132,7 +144,7 @@ pub fn route_hierarchical(
     for (part, rect) in tess.parts.iter().enumerate() {
         let buf = &mut part_items[part];
         let hh = buf.iter().map(|v| v.len()).max().unwrap_or(0).max(1);
-        let c = shearsort(buf, rect.rows, rect.cols, hh);
+        let c = sorter.sort(buf, rect.rows, rect.cols, hh);
         if c.steps > max_local_sort.steps {
             max_local_sort = c;
         }

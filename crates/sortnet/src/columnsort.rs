@@ -4,20 +4,47 @@
 //! Columnsort sorts an `r × s` matrix (column-major, `r ≥ 2(s-1)²`) in
 //! eight phases: four column-sorting phases interleaved with three fixed
 //! permutations (reshape-transpose, its inverse, and a half-column
-//! shift). Applied recursively — each matrix column living in a vertical
-//! strip of the mesh, each permutation a balanced all-to-all between
-//! strips — the total communication is `O(l·(rows + cols))` without
-//! shearsort's log factor.
+//! shift).
 //!
-//! This module implements the *algorithm* exactly (eight phases,
-//! recursion, the `r ≥ 2(s-1)²` feasibility rule) and *charges* the
-//! permutations at their mesh cost, like the scan primitives
-//! ([`crate::rank`], [`crate::broadcast`]). The default sorter of the
-//! simulation remains the fully step-simulated shearsort; columnsort
-//! backs the analytic accounting mode and documents what a
-//! production-grade sorter buys (DESIGN.md §4).
+//! Two realizations live here:
+//!
+//! - [`columnsort`] — the flat *reference*: the algorithm run on a plain
+//!   slice with permutation phases charged at their balanced all-to-all
+//!   mesh cost. It backs the analytic accounting mode and the unit tests
+//!   of the phase structure.
+//! - [`columnsort_mesh`] — the fully **step-simulated** mesh sorter (the
+//!   default sorter of the simulation, [`crate::sorter::Sorter`]). Each
+//!   matrix column is a rectangular *block* of the mesh (blocks tile the
+//!   mesh in snake order over the block grid, so consecutive columns are
+//!   mesh-adjacent); the column-sorting phases run merge-split shearsort
+//!   inside every block in parallel, and the three fixed permutations —
+//!   plus the final block-major → snake relayout — are executed as
+//!   balanced packet routes on the store-and-forward engine
+//!   ([`prasim_mesh::engine::Engine`]) and charged at their *measured*
+//!   step count. The permutations are data-independent, so each route is
+//!   measured once per `(rows, cols, h, block-plan)` shape and memoized;
+//!   the engine is byte-deterministic for every worker count, which
+//!   makes the memoized costs thread-independent too.
+//!
+//! Why no log factor: the block plan maximizes the column count `s`
+//! under Leighton's feasibility rule `r ≥ 2(s-1)²`, which drives block
+//! sizes to `Θ(n^{2/3})` nodes. Shearsort inside a block then costs
+//! `O(l·n^{1/3}·log n)` — asymptotically dominated by the `Θ(l·√n)`
+//! permutation routes — so the total is `O(l·√n)` even though the
+//! per-block sorter keeps its log factor. Phases 6–8 (shift, sort,
+//! unshift) are realized as their provable equivalent: disjoint
+//! half-overlap merges of adjacent sorted columns, costing one exchange
+//! of `r/2` keys across each block boundary.
 
-use crate::shearsort::SortCost;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use prasim_mesh::engine::{Engine, Packet};
+use prasim_mesh::region::Rect;
+use prasim_mesh::topology::MeshShape;
+
+use crate::shearsort::{shearsort, SortCost};
+use crate::snake::{snake_coord, snake_index};
 
 /// Sentinel-extended key: `NegInf < Val(x) < PosInf`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -46,17 +73,18 @@ pub fn columnsort<T: Ord + Copy>(data: &mut [T], rows: u32, cols: u32, h: usize)
     cost
 }
 
-/// Picks the number of columns: the largest power-of-two divisor `s` of
-/// `cols` with `s ≥ 2` and `r = len/s ≥ 2(s-1)²`.
+/// Picks the number of columns: the largest divisor `s` of `cols` with
+/// `s ≥ 2` and `r = len/s ≥ 2(s-1)²` (Leighton's feasibility rule).
 fn pick_s(len: usize, cols: u32) -> Option<u32> {
     let mut best = None;
-    let mut s = 2u32;
-    while cols.is_multiple_of(s) && s as usize <= len {
+    for s in 2..=cols {
+        if !cols.is_multiple_of(s) || s as usize > len {
+            continue;
+        }
         let r = len / s as usize;
         if r >= 2 * (s as usize - 1) * (s as usize - 1) {
             best = Some(s);
         }
-        s *= 2;
     }
     best
 }
@@ -167,6 +195,388 @@ fn untranspose<T: Copy>(v: &mut [Key<T>], r: usize, s: usize) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Step-simulated mesh columnsort.
+// ---------------------------------------------------------------------
+
+/// How matrix columns tile the mesh: an `sr × sc` grid of
+/// `brows × bcols` blocks, visited in snake order over the block grid
+/// (so consecutive matrix columns are mesh-adjacent blocks).
+#[derive(Debug, Clone, Copy)]
+struct BlockPlan {
+    /// Block-grid rows (`sr | rows`).
+    sr: u32,
+    /// Block-grid cols (`sc | cols`).
+    sc: u32,
+    /// Matrix columns, `s = sr·sc ≥ 2`.
+    s: u32,
+    /// Rows per block.
+    brows: u32,
+    /// Cols per block.
+    bcols: u32,
+    /// Keys per matrix column, `r = brows·bcols·h ≥ 2(s-1)²`.
+    r: usize,
+}
+
+impl BlockPlan {
+    /// The plan maximizing `s` under the feasibility rule; ties prefer
+    /// squarer blocks, then fewer block-grid rows (deterministic).
+    fn choose(rows: u32, cols: u32, h: usize) -> Option<BlockPlan> {
+        let slots = rows as usize * cols as usize * h;
+        let mut best: Option<BlockPlan> = None;
+        for sr in 1..=rows {
+            if !rows.is_multiple_of(sr) {
+                continue;
+            }
+            for sc in 1..=cols {
+                if !cols.is_multiple_of(sc) {
+                    continue;
+                }
+                let s = sr * sc;
+                if s < 2 || s as usize > slots {
+                    continue;
+                }
+                let r = slots / s as usize;
+                if r < 2 * (s as usize - 1) * (s as usize - 1) {
+                    continue;
+                }
+                let cand = BlockPlan {
+                    sr,
+                    sc,
+                    s,
+                    brows: rows / sr,
+                    bcols: cols / sc,
+                    r,
+                };
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let sq = |p: &BlockPlan| p.brows.abs_diff(p.bcols);
+                        cand.s > b.s
+                            || (cand.s == b.s && sq(&cand) < sq(&b))
+                            || (cand.s == b.s && sq(&cand) == sq(&b) && cand.sr < b.sr)
+                    }
+                };
+                if better {
+                    best = Some(cand);
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Matrix-index → mesh layout of a block plan: for matrix slot `t`,
+/// the snake position of its node and the engine node index.
+struct Layout {
+    /// `t →` snake position of the owning node (for `items` indexing).
+    snake_pos: Vec<usize>,
+    /// `t →` row-major node index (for engine coordinates).
+    node: Vec<u32>,
+}
+
+impl Layout {
+    fn build(rows: u32, cols: u32, h: usize, plan: &BlockPlan) -> Layout {
+        let slots = rows as usize * cols as usize * h;
+        let mut snake_pos = Vec::with_capacity(slots);
+        let mut node = Vec::with_capacity(slots);
+        for beta in 0..plan.s {
+            let (br, bc) = snake_coord(plan.sc, beta);
+            for ln in 0..(plan.brows * plan.bcols) {
+                let (lr, lc) = snake_coord(plan.bcols, ln);
+                let (gr, gc) = (br * plan.brows + lr, bc * plan.bcols + lc);
+                let pos = snake_index(cols, gr, gc) as usize;
+                let idx = gr * cols + gc;
+                for _ in 0..h {
+                    snake_pos.push(pos);
+                    node.push(idx);
+                }
+            }
+        }
+        Layout { snake_pos, node }
+    }
+}
+
+/// The fixed routes whose engine-measured costs are memoized per shape.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum PermKind {
+    Transpose,
+    Untranspose,
+    MergeExchange,
+    Relayout,
+}
+
+type PermCacheKey = (u32, u32, u32, u32, u32, PermKind);
+
+fn perm_cache() -> &'static Mutex<HashMap<PermCacheKey, u64>> {
+    static CACHE: OnceLock<Mutex<HashMap<PermCacheKey, u64>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Runs the route `pairs` (row-major node indices, one packet per pair)
+/// on a fresh engine and returns the synchronous step count.
+fn measure_route(shape: MeshShape, pairs: impl Iterator<Item = (u32, u32)>) -> u64 {
+    let mut eng = Engine::new(shape);
+    let full = Rect::full(shape);
+    let mut id = 0u64;
+    for (src, dst) in pairs {
+        if src == dst {
+            continue;
+        }
+        eng.inject(
+            shape.coord(src),
+            Packet {
+                id,
+                dest: shape.coord(dst),
+                bounds: full,
+                tag: 0,
+            },
+        );
+        id += 1;
+    }
+    if id == 0 {
+        return 0;
+    }
+    let stats = eng
+        .run(100_000_000)
+        .expect("fixed permutation route exceeded step budget");
+    stats.steps
+}
+
+/// Engine-measured cost of one of the sorter's fixed permutations,
+/// memoized by `(rows, cols, h, sr, sc, kind)` — valid because the
+/// routes are data-independent and the engine is deterministic.
+fn perm_cost(
+    rows: u32,
+    cols: u32,
+    h: usize,
+    plan: &BlockPlan,
+    layout: &Layout,
+    kind: PermKind,
+) -> u64 {
+    let key = (rows, cols, h as u32, plan.sr, plan.sc, kind);
+    if let Some(&c) = perm_cache().lock().unwrap().get(&key) {
+        return c;
+    }
+    let shape = MeshShape { rows, cols };
+    let (r, s) = (plan.r, plan.s as usize);
+    let slots = layout.node.len();
+    let cost = match kind {
+        // Element at matrix slot `seq` moves to slot (seq%s)·r + seq/s.
+        PermKind::Transpose => measure_route(
+            shape,
+            (0..slots).map(|seq| (layout.node[seq], layout.node[(seq % s) * r + seq / s])),
+        ),
+        // The inverse: slot (t%s)·r + t/s moves to slot t.
+        PermKind::Untranspose => measure_route(
+            shape,
+            (0..slots).map(|t| (layout.node[(t % s) * r + t / s], layout.node[t])),
+        ),
+        // Phases 6–8: each adjacent column pair exchanges its boundary
+        // halves (the shifted column  = bottom half of column j-1 ++ top
+        // of column j); all pairs are disjoint, one parallel route.
+        PermKind::MergeExchange => {
+            let half = r / 2;
+            measure_route(
+                shape,
+                (1..s)
+                    .flat_map(|j| {
+                        (0..half).flat_map(move |x| {
+                            let a = j * r - half + x;
+                            let b = j * r + x;
+                            [(a, b), (b, a)]
+                        })
+                    })
+                    .map(|(a, b)| (layout.node[a], layout.node[b])),
+            )
+        }
+        // Sorted block-major order → global snake order: rank t goes to
+        // snake position t/h.
+        PermKind::Relayout => measure_route(
+            shape,
+            (0..slots).map(|t| {
+                let (gr, gc) = snake_coord(cols, (t / h) as u32);
+                (layout.node[t], gr * cols + gc)
+            }),
+        ),
+    };
+    perm_cache().lock().unwrap().insert(key, cost);
+    cost
+}
+
+/// Sorts each matrix column (= mesh block) with merge-split shearsort
+/// run *inside* the block; all blocks sort in parallel, so the charge is
+/// the maximum measured cost. `scratch` is the reusable per-node buffer
+/// arena.
+fn sort_blocks<T: Ord + Copy>(
+    a: &mut [Key<T>],
+    h: usize,
+    plan: &BlockPlan,
+    scratch: &mut Vec<Vec<Key<T>>>,
+) -> u64 {
+    let bn = (plan.brows * plan.bcols) as usize;
+    if scratch.len() != bn {
+        scratch.resize_with(bn, Vec::new);
+    }
+    let mut worst = 0u64;
+    for col in a.chunks_mut(plan.r) {
+        for (ln, buf) in scratch.iter_mut().enumerate() {
+            buf.clear();
+            buf.extend_from_slice(&col[ln * h..(ln + 1) * h]);
+        }
+        let c = shearsort(scratch, plan.brows, plan.bcols, h);
+        worst = worst.max(c.steps);
+        for (ln, buf) in scratch.iter().enumerate() {
+            col[ln * h..(ln + 1) * h].copy_from_slice(buf);
+        }
+    }
+    worst
+}
+
+/// Merges the boundary halves of adjacent sorted columns in place —
+/// the provable equivalent of columnsort's shift / sort / unshift
+/// phases 6–8. Regions `[j·r − r/2, (j+1)·r − r/2)` are disjoint across
+/// `j`, so sequential in-place merging equals the parallel mesh run.
+fn merge_adjacent<T: Ord + Copy>(a: &mut [Key<T>], r: usize, s: usize, scratch: &mut Vec<Key<T>>) {
+    let half = r / 2;
+    for j in 1..s {
+        let lo = j * r - half;
+        let region = &mut a[lo..lo + r];
+        scratch.clear();
+        {
+            let (left, right) = region.split_at(half);
+            let (mut i, mut k) = (0usize, 0usize);
+            while i < left.len() && k < right.len() {
+                if left[i] <= right[k] {
+                    scratch.push(left[i]);
+                    i += 1;
+                } else {
+                    scratch.push(right[k]);
+                    k += 1;
+                }
+            }
+            scratch.extend_from_slice(&left[i..]);
+            scratch.extend_from_slice(&right[k..]);
+        }
+        region.copy_from_slice(scratch);
+    }
+}
+
+/// Degenerate shapes (no feasible block plan): one odd-even
+/// transposition sort along the snake — `L` merge-split rounds over `L`
+/// nodes, `h` steps each.
+fn snake_line_sort<T: Ord + Copy>(
+    items: &mut [Vec<T>],
+    rows: u32,
+    cols: u32,
+    h: usize,
+) -> SortCost {
+    let nodes = items.len();
+    let mut all: Vec<T> = Vec::with_capacity(nodes * h);
+    for buf in items.iter_mut() {
+        all.append(buf);
+    }
+    all.sort_unstable();
+    for (i, x) in all.into_iter().enumerate() {
+        items[i / h].push(x);
+    }
+    SortCost {
+        steps: nodes as u64 * h as u64,
+        analytic_steps: h as u64 * (rows as u64 + cols as u64),
+        phases: 1,
+    }
+}
+
+/// Step-simulated Leighton columnsort on a `rows × cols` mesh with up to
+/// `h` keys per node — same contract as [`crate::shearsort::shearsort`]:
+/// `items` is indexed by snake position, on return the concatenation of
+/// the buffers in snake order is sorted and balanced `h` per node (the
+/// trailing nodes hold the remainder).
+///
+/// Cost accounting: the four column-sorting phases charge the *maximum*
+/// measured in-block shearsort (blocks run in parallel); the transpose,
+/// untranspose, boundary-exchange and final-relayout permutations charge
+/// their engine-measured route costs (memoized per shape — the routes
+/// are fixed and data-independent). `analytic_steps` stays the paper's
+/// `h·(rows+cols)` charge, as for shearsort.
+///
+/// # Panics
+/// Panics if any buffer exceeds `h` keys or `items.len() != rows·cols`.
+pub fn columnsort_mesh<T: Ord + Copy>(
+    items: &mut [Vec<T>],
+    rows: u32,
+    cols: u32,
+    h: usize,
+) -> SortCost {
+    assert_eq!(items.len(), (rows as u64 * cols as u64) as usize);
+    assert!(h >= 1);
+    for v in items.iter() {
+        assert!(v.len() <= h, "buffer exceeds h = {h}");
+    }
+    let analytic = h as u64 * (rows as u64 + cols as u64);
+
+    let Some(plan) = BlockPlan::choose(rows, cols, h) else {
+        let mut cost = snake_line_sort(items, rows, cols, h);
+        cost.analytic_steps = analytic;
+        return cost;
+    };
+    let layout = Layout::build(rows, cols, h, &plan);
+    let slots = layout.node.len();
+    let (r, s) = (plan.r, plan.s as usize);
+
+    // Gather into the column-major matrix, padding to capacity with +∞.
+    let mut a: Vec<Key<T>> = Vec::with_capacity(slots);
+    for t in 0..slots {
+        let buf = &items[layout.snake_pos[t]];
+        a.push(buf.get(t % h).copied().map_or(Key::PosInf, Key::Val));
+    }
+
+    let mut steps = 0u64;
+    let mut blk_scratch: Vec<Vec<Key<T>>> = Vec::new();
+    let mut perm_scratch: Vec<Key<T>> = Vec::with_capacity(slots);
+
+    // Phase 1: sort columns (blocks, in parallel).
+    steps += sort_blocks(&mut a, h, &plan, &mut blk_scratch);
+    // Phase 2: reshape-transpose (engine-measured fixed route).
+    perm_scratch.clear();
+    perm_scratch.extend_from_slice(&a);
+    for (seq, &x) in perm_scratch.iter().enumerate() {
+        a[(seq % s) * r + seq / s] = x;
+    }
+    steps += perm_cost(rows, cols, h, &plan, &layout, PermKind::Transpose);
+    // Phase 3.
+    steps += sort_blocks(&mut a, h, &plan, &mut blk_scratch);
+    // Phase 4: inverse reshape.
+    perm_scratch.clear();
+    perm_scratch.extend_from_slice(&a);
+    for (t, slot) in a.iter_mut().enumerate() {
+        *slot = perm_scratch[(t % s) * r + t / s];
+    }
+    steps += perm_cost(rows, cols, h, &plan, &layout, PermKind::Untranspose);
+    // Phase 5.
+    steps += sort_blocks(&mut a, h, &plan, &mut blk_scratch);
+    // Phases 6–8 as disjoint adjacent-column boundary merges.
+    merge_adjacent(&mut a, r, s, &mut perm_scratch);
+    steps += perm_cost(rows, cols, h, &plan, &layout, PermKind::MergeExchange);
+    // Final fixed permutation: block-major sorted order → snake order.
+    steps += perm_cost(rows, cols, h, &plan, &layout, PermKind::Relayout);
+
+    for buf in items.iter_mut() {
+        buf.clear();
+    }
+    for (t, key) in a.into_iter().enumerate() {
+        if let Key::Val(x) = key {
+            items[t / h].push(x);
+        }
+    }
+
+    SortCost {
+        steps,
+        analytic_steps: analytic,
+        phases: 8,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,10 +658,115 @@ mod tests {
 
     #[test]
     fn feasibility_rule() {
-        // s is a power-of-two divisor of cols with r ≥ 2(s-1)².
+        // s is the largest divisor of cols with r ≥ 2(s-1)².
         assert_eq!(pick_s(1024, 32), Some(8)); // r=128 ≥ 2·49=98
         assert_eq!(pick_s(64, 8), Some(2)); // s=4 needs r=16 ≥ 18: no
         assert_eq!(pick_s(16, 4), Some(2));
         assert_eq!(pick_s(4, 1), None);
+        // Non-power-of-two divisors are now considered (satellite fix):
+        // cols=12 admits s=4 (r=36 ≥ 2·9=18); s=6 needs r=24 ≥ 50: no.
+        assert_eq!(pick_s(144, 12), Some(4));
+        // cols=6, len=216: s=6 needs r=36 ≥ 50: no; s=3 gives r=72 ≥ 8.
+        assert_eq!(pick_s(216, 6), Some(3));
+        // A prime width still splits once r is large enough (previously
+        // any odd width degenerated to a single-column sort).
+        assert_eq!(pick_s(98, 7), None); // r=14 < 2·36=72
+        assert_eq!(pick_s(504, 7), Some(7)); // r=72 ≥ 72
+    }
+
+    fn mesh_items(n: usize, h: usize, seed: u64) -> Vec<Vec<u64>> {
+        lcg(n * h, seed).chunks(h).map(|c| c.to_vec()).collect()
+    }
+
+    #[test]
+    fn mesh_sorts_exactly_across_shapes() {
+        for &(rows, cols, h) in &[
+            (2u32, 2u32, 1usize),
+            (4, 4, 1),
+            (8, 8, 1),
+            (8, 8, 4),
+            (16, 16, 2),
+            (32, 32, 1),
+            (16, 64, 3),
+            (12, 6, 2),
+            (1, 16, 2),
+            (7, 7, 1),
+        ] {
+            let n = (rows * cols) as usize;
+            let mut items = mesh_items(n, h, rows as u64 * 131 + h as u64);
+            let mut expect: Vec<u64> = items.iter().flatten().copied().collect();
+            expect.sort_unstable();
+            let cost = columnsort_mesh(&mut items, rows, cols, h);
+            let got: Vec<u64> = items.iter().flatten().copied().collect();
+            assert_eq!(got, expect, "rows={rows} cols={cols} h={h}");
+            assert!(cost.steps > 0);
+            assert_eq!(cost.analytic_steps, h as u64 * (rows + cols) as u64);
+        }
+    }
+
+    #[test]
+    fn mesh_sorts_partial_and_uneven_fill() {
+        // Buffers of varying fill (0..=h keys) must come back balanced.
+        let (rows, cols, h) = (8u32, 8u32, 4usize);
+        let mut items: Vec<Vec<u64>> = mesh_items(64, h, 5)
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut v)| {
+                v.truncate(i % (h + 1));
+                v
+            })
+            .collect();
+        let mut expect: Vec<u64> = items.iter().flatten().copied().collect();
+        expect.sort_unstable();
+        columnsort_mesh(&mut items, rows, cols, h);
+        let got: Vec<u64> = items.iter().flatten().copied().collect();
+        assert_eq!(got, expect);
+        let total = expect.len();
+        for (i, v) in items.iter().enumerate() {
+            if (i + 1) * h <= total {
+                assert_eq!(v.len(), h, "node {i} not full");
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_cost_is_deterministic_and_cached() {
+        let mut a = mesh_items(256, 2, 11);
+        let mut b = a.clone();
+        let c1 = columnsort_mesh(&mut a, 16, 16, 2);
+        let c2 = columnsort_mesh(&mut b, 16, 16, 2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn mesh_beats_shearsort_at_scale() {
+        use crate::shearsort::shearsort;
+        let side = 128u32;
+        let n = (side * side) as usize;
+        let mut a = mesh_items(n, 1, 3);
+        let mut b = a.clone();
+        let cc = columnsort_mesh(&mut a, side, side, 1);
+        let sc = shearsort(&mut b, side, side, 1);
+        assert_eq!(a, b, "both sorters must agree");
+        assert!(
+            cc.steps < sc.steps,
+            "columnsort {} !< shearsort {}",
+            cc.steps,
+            sc.steps
+        );
+    }
+
+    #[test]
+    fn block_plan_respects_feasibility() {
+        for &(rows, cols, h) in &[(8u32, 8u32, 1usize), (16, 16, 2), (12, 6, 1), (128, 128, 1)] {
+            let p = BlockPlan::choose(rows, cols, h).expect("plan");
+            assert!(rows.is_multiple_of(p.sr) && cols.is_multiple_of(p.sc));
+            assert_eq!(p.s, p.sr * p.sc);
+            assert!(p.s >= 2);
+            assert!(p.r >= 2 * (p.s as usize - 1) * (p.s as usize - 1));
+            assert_eq!(p.r * p.s as usize, rows as usize * cols as usize * h);
+        }
+        // Too small to split: falls back to the line sort.
+        assert!(BlockPlan::choose(1, 2, 1).is_none());
     }
 }

@@ -4,16 +4,21 @@
 //! and *rank* packets within groups, inside submeshes of various sizes
 //! (the access protocol's stages, the CULLING procedure, and the
 //! `(l1,l2)`-routing all start with a sort). The paper charges
-//! `O(l·√n)` for these, citing Kunde-style algorithms; we implement
-//! merge-split **shearsort** (odd-even transposition over rows and
-//! columns of the snake order), which is `O(l·√n·log n)` — see DESIGN.md
-//! §4 for why this substitution preserves the paper's claims — plus exact
-//! step-cost accounting and an analytic mode charging the paper's bound.
+//! `O(l·√n)` for these, citing Kunde-style algorithms; two fully
+//! step-simulated sorters are provided behind the pluggable
+//! [`sorter::Sorter`] layer: merge-split **shearsort**
+//! (`O(l·√n·log n)`) and step-simulated Leighton **columnsort**
+//! (`O(l·√n)`, the class the paper assumes — and the default). Both
+//! carry exact step-cost accounting plus an analytic mode charging the
+//! paper's bound; DESIGN.md §4 discusses the substitution.
 //!
 //! - [`snake`]: snake-order indexing of a rectangular region.
+//! - [`mod@sorter`]: the pluggable sorter dispatch (default:
+//!   columnsort).
 //! - [`mod@shearsort`]: merge-split shearsort of `l` keys per node.
-//! - [`mod@columnsort`]: Leighton's columnsort (the log-factor-free
-//!   class the paper's accounting assumes).
+//! - [`mod@columnsort`]: Leighton's columnsort — both the flat
+//!   reference and the step-simulated mesh realization
+//!   ([`columnsort::columnsort_mesh`]).
 //! - [`rank`]: segmented ranking / prefix operations over sorted keys.
 //! - [`broadcast`]: segmented broadcast (prefix copy) for request
 //!   combining.
@@ -37,9 +42,11 @@ pub mod columnsort;
 pub mod rank;
 pub mod shearsort;
 pub mod snake;
+pub mod sorter;
 
 pub use broadcast::segmented_broadcast;
-pub use columnsort::columnsort;
+pub use columnsort::{columnsort, columnsort_mesh};
 pub use rank::rank_sorted;
 pub use shearsort::{shearsort, SortCost};
 pub use snake::snake_index;
+pub use sorter::{default_sorter, set_global_sorter, Sorter};

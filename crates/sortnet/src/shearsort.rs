@@ -83,12 +83,14 @@ pub fn shearsort<T: Ord + Copy>(items: &mut [Vec<T>], rows: u32, cols: u32, h: u
     };
 
     let max_phases = rows.max(2).ilog2() + 2 + rows; // theory bound + safety margin
+    let mut merge_scratch: Vec<Option<T>> = Vec::with_capacity(2 * h);
+    let mut col_scratch: Vec<Vec<Option<T>>> = Vec::with_capacity(rows as usize);
     loop {
         // Row pass: each row is a contiguous ascending chunk in snake
         // indexing. All rows run in parallel -> charge one line sort.
         for r in 0..rows {
             let range = row_positions(cols, r);
-            odd_even_line(&mut buf[range], h);
+            odd_even_line(&mut buf[range], h, &mut merge_scratch);
         }
         cost.steps += cols as u64 * h as u64;
         cost.phases += 1;
@@ -96,14 +98,13 @@ pub fn shearsort<T: Ord + Copy>(items: &mut [Vec<T>], rows: u32, cols: u32, h: u
             break;
         }
         // Column pass.
-        let mut col_scratch: Vec<Vec<Option<T>>> = Vec::with_capacity(rows as usize);
         for c in 0..cols {
             let ps = column_positions(rows, cols, c);
             col_scratch.clear();
             for &p in &ps {
                 col_scratch.push(std::mem::take(&mut buf[p]));
             }
-            odd_even_line(&mut col_scratch, h);
+            odd_even_line(&mut col_scratch, h, &mut merge_scratch);
             for (&p, v) in ps.iter().zip(col_scratch.drain(..)) {
                 buf[p] = v;
             }
@@ -134,8 +135,13 @@ fn cmp_opt_key<T: Ord>(a: &Option<T>, b: &Option<T>) -> std::cmp::Ordering {
 }
 
 /// Odd-even transposition with merge-split over a line of blocks; `L`
-/// rounds sort `L` pre-sorted blocks.
-fn odd_even_line<T: Ord + Copy>(line: &mut [Vec<Option<T>>], h: usize) {
+/// rounds sort `L` pre-sorted blocks. `scratch` is a reusable merge
+/// buffer (capacity `2h`) so repeated passes allocate nothing.
+fn odd_even_line<T: Ord + Copy>(
+    line: &mut [Vec<Option<T>>],
+    h: usize,
+    scratch: &mut Vec<Option<T>>,
+) {
     let n = line.len();
     if n <= 1 {
         return;
@@ -144,15 +150,21 @@ fn odd_even_line<T: Ord + Copy>(line: &mut [Vec<Option<T>>], h: usize) {
         let start = round % 2;
         let mut i = start;
         while i + 1 < n {
-            merge_split(line, i, i + 1, h);
+            merge_split(line, i, i + 1, h, scratch);
             i += 2;
         }
     }
 }
 
 /// Merge two sorted blocks; lower `h` keys to `lo`, the rest to `hi`.
-fn merge_split<T: Ord + Copy>(line: &mut [Vec<Option<T>>], lo: usize, hi: usize, h: usize) {
-    let mut merged: Vec<Option<T>> = Vec::with_capacity(2 * h);
+fn merge_split<T: Ord + Copy>(
+    line: &mut [Vec<Option<T>>],
+    lo: usize,
+    hi: usize,
+    h: usize,
+    merged: &mut Vec<Option<T>>,
+) {
+    merged.clear();
     {
         let (a, b) = (&line[lo], &line[hi]);
         let (mut i, mut j) = (0usize, 0usize);
@@ -168,9 +180,11 @@ fn merge_split<T: Ord + Copy>(line: &mut [Vec<Option<T>>], lo: usize, hi: usize,
         merged.extend_from_slice(&a[i..]);
         merged.extend_from_slice(&b[j..]);
     }
-    let upper = merged.split_off(h);
-    line[lo] = merged;
-    line[hi] = upper;
+    let split = merged.len().min(h);
+    line[lo].clear();
+    line[lo].extend_from_slice(&merged[..split]);
+    line[hi].clear();
+    line[hi].extend_from_slice(&merged[split..]);
 }
 
 /// Whether the buffers, concatenated in snake order, are sorted with all

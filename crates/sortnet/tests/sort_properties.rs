@@ -91,3 +91,70 @@ mod columnsort_props {
         }
     }
 }
+
+mod sorter_agreement {
+    use prasim_sortnet::{columnsort_mesh, shearsort::shearsort, Sorter};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Both mesh sorters and the standard library agree on the sorted
+        /// multiset for random shapes — non-square meshes and h > 1
+        /// included — and both leave the keys balanced h-per-node.
+        #[test]
+        fn sorters_agree_on_random_multisets(
+            rows in 1u32..10,
+            cols in 1u32..10,
+            h in 1usize..5,
+            data in prop::collection::vec(any::<u32>(), 0..250),
+        ) {
+            let n = (rows * cols) as usize;
+            let mut items: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for (i, &x) in data.iter().take(n * h).enumerate() {
+                items[i % n].push(x);
+            }
+            let mut expect: Vec<u32> = items.iter().flatten().copied().collect();
+            expect.sort_unstable();
+
+            let mut by_shear = items.clone();
+            shearsort(&mut by_shear, rows, cols, h);
+            let mut by_col = items.clone();
+            columnsort_mesh(&mut by_col, rows, cols, h);
+
+            let shear_flat: Vec<u32> = by_shear.iter().flatten().copied().collect();
+            let col_flat: Vec<u32> = by_col.iter().flatten().copied().collect();
+            prop_assert_eq!(&shear_flat, &expect);
+            prop_assert_eq!(&col_flat, &expect);
+            // Identical balanced layout, node by node.
+            prop_assert_eq!(&by_shear, &by_col);
+        }
+
+        /// The [`Sorter`] dispatch layer routes to the same
+        /// implementations (cost accounting included).
+        #[test]
+        fn dispatch_matches_direct(
+            rows in 1u32..8,
+            cols in 1u32..8,
+            seed in any::<u64>(),
+        ) {
+            let n = (rows * cols) as usize;
+            let mut state = seed | 1;
+            let items: Vec<Vec<u64>> = (0..n).map(|_| {
+                (0..2).map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    state >> 40
+                }).collect()
+            }).collect();
+            for sorter in [Sorter::Shearsort, Sorter::Columnsort] {
+                let mut a = items.clone();
+                let ca = sorter.sort(&mut a, rows, cols, 2);
+                let mut b = items.clone();
+                let cb = match sorter {
+                    Sorter::Shearsort => shearsort(&mut b, rows, cols, 2),
+                    Sorter::Columnsort => columnsort_mesh(&mut b, rows, cols, 2),
+                };
+                prop_assert_eq!(a, b);
+                prop_assert_eq!(ca, cb);
+            }
+        }
+    }
+}

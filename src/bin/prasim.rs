@@ -5,12 +5,13 @@
 //!                  [--workload random|adversarial|strided] [--seed 42]
 //!                  [--slack 1.0] [--analytic]
 //!                  [--policy freshest|quorum] [--threads N]
+//!                  [--sorter shearsort|columnsort]
 //!                  [--dead N] [--sever N] [--lossy N]
 //!                  [--corrupt N] [--freeze N]
 //!                  [--fault-seed S] [--fault-from T]
 //! prasim structure --n 1024 --d 5 [--q 3] [--k 2]
 //! prasim route     --n 1024 [--l1 1] [--algo greedy|flat|hier] [--parts 16]
-//!                  [--threads N]
+//!                  [--threads N] [--sorter shearsort|columnsort]
 //! prasim bibd      --q 3 --d 2 [--m 8] [--dot]
 //! ```
 //!
@@ -22,6 +23,9 @@
 //! Definition 2's hierarchical majority instead of freshest-timestamp.
 //! `--threads N` shards the mesh engines across N workers (default:
 //! available parallelism); the output is byte-identical for every N.
+//! `--sorter` selects the mesh sorting network used by every sort phase
+//! (default: the step-simulated columnsort; `shearsort` restores the
+//! previous merge-split shearsort).
 
 use prasim::bibd::{Bibd, BibdSubgraph};
 use prasim::core::{workload, PramMeshSim, ReadPolicy, SimConfig};
@@ -106,6 +110,20 @@ impl Args {
         prasim::mesh::engine::set_global_threads(threads);
         threads
     }
+
+    /// Resolves `--sorter` (default: the process default, itself
+    /// columnsort unless `PRASIM_SORTER` overrides it) and installs it
+    /// as the process-wide sorter so every sort phase picks it up.
+    fn install_sorter(&self) -> prasim::sortnet::Sorter {
+        let sorter = match self.flags.get("sorter") {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| die("--sorter expects shearsort|columnsort")),
+            None => prasim::sortnet::default_sorter(),
+        };
+        prasim::sortnet::set_global_sorter(sorter);
+        sorter
+    }
 }
 
 fn die(msg: &str) -> ! {
@@ -152,12 +170,14 @@ fn cmd_simulate(args: &Args) -> ExitCode {
         "quorum" | "majority" => ReadPolicy::HierarchicalMajority,
         other => die(&format!("unknown policy `{other}` (use freshest|quorum)")),
     };
+    let sorter = args.install_sorter();
     let config = SimConfig::new(n, memory)
         .with_q(args.get_u64("q", 3))
         .with_k(args.get_u64("k", 2) as u32)
         .with_culling_slack(args.get_f64("slack", 1.0))
         .with_analytic_sort(args.has("analytic"))
         .with_read_policy(policy)
+        .with_sorter(sorter)
         .with_threads(args.install_threads());
     let mut sim = match PramMeshSim::new(config) {
         Ok(s) => s,
@@ -165,7 +185,7 @@ fn cmd_simulate(args: &Args) -> ExitCode {
     };
     let p = sim.hmos().params().clone();
     println!(
-        "machine: n = {n}, q = {}, k = {}, redundancy {}, memory {} (α = {:.3}), {} reads",
+        "machine: n = {n}, q = {}, k = {}, redundancy {}, memory {} (α = {:.3}), {} reads, {} sorter",
         p.q,
         p.k,
         p.redundancy(),
@@ -174,7 +194,8 @@ fn cmd_simulate(args: &Args) -> ExitCode {
         match policy {
             ReadPolicy::Freshest => "freshest",
             ReadPolicy::HierarchicalMajority => "hierarchical-majority",
-        }
+        },
+        sorter
     );
     let steps = args.get_u64("steps", 2);
     let seed = args.get_u64("seed", 42);
@@ -355,6 +376,7 @@ fn cmd_route(args: &Args) -> ExitCode {
         None => die("--n must be a perfect square"),
     };
     args.install_threads();
+    args.install_sorter();
     let l1 = args.get_u64("l1", 1);
     let seed = args.get_u64("seed", 7);
     let inst = RoutingInstance::random(shape, l1, seed);
