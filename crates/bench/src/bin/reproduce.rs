@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (T1–T17) of EXPERIMENTS.md.
+//! Regenerates every experiment table (T1–T18) of EXPERIMENTS.md.
 //!
 //! ```sh
 //! cargo run --release -p prasim-bench --bin reproduce            # standard sizes
@@ -18,9 +18,16 @@
 //! sort phase (default: columnsort). The CI sorter matrix regenerates
 //! T2/T17 under both and diffs each against its committed golden.
 //!
+//! `--ctx fresh|reused` selects whether simulations renew their pooled
+//! execution state (engines, worker threads, sort memo) at every step
+//! boundary (`fresh`, the seed's cold-start behavior) or keep it warm
+//! across steps (`reused`, the default). The tables are byte-identical
+//! either way — only wall-clock changes — and the CI determinism matrix
+//! diffs selected tables across both modes to prove it.
+//!
 //! Whenever T17 runs, its data is also written to `BENCH_sorters.json`
-//! (machine-readable step counts per sorter per `n`) in the working
-//! directory.
+//! (machine-readable step counts per sorter per `n`); T18 likewise
+//! writes `BENCH_exec.json` (context-reuse throughput data).
 
 use prasim_bench::tables::{self, Table};
 
@@ -43,6 +50,12 @@ fn main() {
                 .and_then(|v| v.parse().ok())
                 .expect("--sorter needs shearsort|columnsort");
             prasim_sortnet::set_global_sorter(s);
+        } else if a == "--ctx" {
+            let m = it
+                .next()
+                .and_then(|v| prasim_exec::ExecMode::parse(&v))
+                .expect("--ctx needs fresh|reused");
+            prasim_exec::set_global_exec_mode(m);
         } else {
             args.push(a);
         }
@@ -151,6 +164,15 @@ fn main() {
         let (table, json) = tables::t17_sorters(&t17_ns);
         out.push(table);
         std::fs::write("BENCH_sorters.json", json).expect("write BENCH_sorters.json");
+    }
+    if want("T18") {
+        // Context reuse: same workload as T16, run as repeated steps with
+        // a fresh ExecCtx per step vs one warm context. Wall-clock columns
+        // vary run to run; steps/delivered/queue are deterministic.
+        let (n, ppn, reps) = if quick { (1024, 8, 6) } else { (4096, 16, 8) };
+        let (table, json) = tables::t18_context_reuse(n, ppn, reps);
+        out.push(table);
+        std::fs::write("BENCH_exec.json", json).expect("write BENCH_exec.json");
     }
 
     println!("# prasim — reproduced results\n");

@@ -15,13 +15,14 @@
 
 use crate::pram::{Op, PramStep};
 use crate::sim::SimError;
+use prasim_exec::ExecCtx;
 use prasim_hmos::{CopyAddr, Hmos, HmosParams, TargetSpec};
-use prasim_mesh::engine::{Engine, EngineError, Packet};
+use prasim_mesh::engine::{EngineError, Packet};
 use prasim_mesh::region::Rect;
 use prasim_mesh::topology::{Coord, MeshShape};
 use prasim_routing::problem::SplitMix64;
 use prasim_sortnet::snake::{snake_coord, snake_index};
-use prasim_sortnet::sorter::{default_sorter, Sorter};
+use prasim_sortnet::sorter::Sorter;
 use std::collections::HashMap;
 
 /// What a baseline measures for one PRAM step.
@@ -56,7 +57,7 @@ fn route_packets(
     shape: MeshShape,
     pkts: &[(u32, u32)],
     max_steps: u64,
-    sorter: Sorter,
+    ctx: &mut ExecCtx,
 ) -> Result<(u64, u64, u64, usize), EngineError> {
     let n = shape.nodes() as usize;
     let h = pkts
@@ -76,8 +77,8 @@ fn route_packets(
         let dc = shape.coord(d);
         items[pos].push((snake_index(shape.cols, dc.r, dc.c) as u64, i as u64));
     }
-    let cost = sorter.sort(&mut items, shape.rows, shape.cols, h);
-    let mut engine = Engine::new(shape);
+    let cost = ctx.sort(&mut items, shape.rows, shape.cols, h);
+    let mut engine = ctx.engine(shape);
     let bounds = Rect::full(shape);
     for (pos, buf) in items.iter().enumerate() {
         let (r, c) = snake_coord(shape.cols, pos as u32);
@@ -99,6 +100,7 @@ fn route_packets(
         debug_assert_eq!(node, pkts[pkt.tag as usize].1);
         *per_node.entry(node).or_insert(0) += 1;
     }
+    ctx.recycle(engine);
     let access = per_node.values().copied().max().unwrap_or(0);
     Ok((cost.steps, stats.steps, access, stats.max_queue))
 }
@@ -114,7 +116,7 @@ pub struct SingleCopySim {
     num_variables: u64,
     memory: Vec<HashMap<u64, u64>>,
     max_engine_steps: u64,
-    sorter: Sorter,
+    exec: ExecCtx,
 }
 
 impl SingleCopySim {
@@ -126,13 +128,14 @@ impl SingleCopySim {
             num_variables,
             memory: vec![HashMap::new(); n as usize],
             max_engine_steps: 100_000_000,
-            sorter: default_sorter(),
+            exec: ExecCtx::from_defaults(),
         })
     }
 
-    /// Selects the mesh sorter of the pre-routing sort.
+    /// Selects the mesh sorter of the pre-routing sort (configures the
+    /// scheme's execution context).
     pub fn with_sorter(mut self, sorter: Sorter) -> Self {
-        self.sorter = sorter;
+        self.exec.set_sorter(sorter);
         self
     }
 
@@ -157,8 +160,9 @@ impl BaselineScheme for SingleCopySim {
             .enumerate()
             .filter_map(|(p, op)| op.map(|o| (p as u32, self.home(o.var()))))
             .collect();
+        self.exec.maybe_renew();
         let (sort_steps, route_steps, access_steps, _q) =
-            route_packets(self.shape, &pkts, self.max_engine_steps, self.sorter)?;
+            route_packets(self.shape, &pkts, self.max_engine_steps, &mut self.exec)?;
         let mut reads = vec![None; step.ops.len()];
         for (p, op) in step.ops.iter().enumerate() {
             match op {
@@ -196,7 +200,7 @@ pub struct MehlhornVishkinSim {
     c: u32,
     memory: Vec<HashMap<u64, u64>>,
     max_engine_steps: u64,
-    sorter: Sorter,
+    exec: ExecCtx,
 }
 
 impl MehlhornVishkinSim {
@@ -210,13 +214,14 @@ impl MehlhornVishkinSim {
             c,
             memory: vec![HashMap::new(); n as usize],
             max_engine_steps: 100_000_000,
-            sorter: default_sorter(),
+            exec: ExecCtx::from_defaults(),
         })
     }
 
-    /// Selects the mesh sorter of the pre-routing sort.
+    /// Selects the mesh sorter of the pre-routing sort (configures the
+    /// scheme's execution context).
     pub fn with_sorter(mut self, sorter: Sorter) -> Self {
-        self.sorter = sorter;
+        self.exec.set_sorter(sorter);
         self
     }
 
@@ -260,8 +265,9 @@ impl BaselineScheme for MehlhornVishkinSim {
                 None => {}
             }
         }
+        self.exec.maybe_renew();
         let (sort_steps, route_steps, access_steps, _q) =
-            route_packets(self.shape, &pkts, self.max_engine_steps, self.sorter)?;
+            route_packets(self.shape, &pkts, self.max_engine_steps, &mut self.exec)?;
         let mut reads = vec![None; step.ops.len()];
         for (p, op) in step.ops.iter().enumerate() {
             match op {
@@ -303,7 +309,7 @@ pub struct FlatHmosSim {
     memory: Vec<HashMap<u64, (u64, u64)>>,
     clock: u64,
     max_engine_steps: u64,
-    sorter: Sorter,
+    exec: ExecCtx,
 }
 
 impl FlatHmosSim {
@@ -321,13 +327,14 @@ impl FlatHmosSim {
             spec,
             clock: 0,
             max_engine_steps: 100_000_000,
-            sorter: default_sorter(),
+            exec: ExecCtx::from_defaults(),
         })
     }
 
-    /// Selects the mesh sorter of the pre-routing sort.
+    /// Selects the mesh sorter of the pre-routing sort (configures the
+    /// scheme's execution context).
     pub fn with_sorter(mut self, sorter: Sorter) -> Self {
-        self.sorter = sorter;
+        self.exec.set_sorter(sorter);
         self
     }
 
@@ -371,8 +378,9 @@ impl BaselineScheme for FlatHmosSim {
                 }
             }
         }
+        self.exec.maybe_renew();
         let (sort_steps, route_steps, access_steps, _q) =
-            route_packets(shape, &pkts, self.max_engine_steps, self.sorter)?;
+            route_packets(shape, &pkts, self.max_engine_steps, &mut self.exec)?;
         let mut best: Vec<Option<(u64, u64)>> = vec![None; step.ops.len()];
         for &(p, node, slot) in &cells {
             match step.ops[p] {

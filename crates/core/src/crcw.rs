@@ -84,10 +84,7 @@ pub fn step_crcw(
             h = h.max(items[pos].len());
         }
     }
-    let sort_cost = sim
-        .config()
-        .sorter
-        .sort(&mut items, shape.rows, shape.cols, h);
+    let sort_cost = sim.exec().sort(&mut items, shape.rows, shape.cols, h);
     // Segmented reduce along the snake order; leader = first writer.
     let mut combined: std::collections::HashMap<u64, (u32, u64)> = std::collections::HashMap::new();
     for buf in &items {

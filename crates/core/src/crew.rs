@@ -20,7 +20,7 @@
 
 use crate::pram::{Op, PramStep};
 use crate::sim::{PramMeshSim, SimError, StepReport};
-use prasim_mesh::engine::{Engine, Packet};
+use prasim_mesh::engine::Packet;
 use prasim_mesh::region::Rect;
 use prasim_sortnet::broadcast::segmented_broadcast;
 use prasim_sortnet::snake::{snake_coord, snake_index};
@@ -88,10 +88,7 @@ pub fn step_crew(sim: &mut PramMeshSim, step: &PramStep) -> Result<CrewReport, S
             h = h.max(items[pos].len());
         }
     }
-    let sort1 = sim
-        .config()
-        .sorter
-        .sort(&mut items, shape.rows, shape.cols, h);
+    let sort1 = sim.exec().sort(&mut items, shape.rows, shape.cols, h);
     // Representatives: first requester of each contiguous segment.
     let mut representative: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
     for buf in &items {
@@ -152,10 +149,7 @@ pub fn step_crew(sim: &mut PramMeshSim, step: &PramStep) -> Result<CrewReport, S
             h2 = h2.max(items2[pos].len());
         }
     }
-    let sort2 = sim
-        .config()
-        .sorter
-        .sort(&mut items2, shape.rows, shape.cols, h2);
+    let sort2 = sim.exec().sort(&mut items2, shape.rows, shape.cols, h2);
     let bcast = segmented_broadcast(
         &mut items2,
         shape.rows,
@@ -169,8 +163,11 @@ pub fn step_crew(sim: &mut PramMeshSim, step: &PramStep) -> Result<CrewReport, S
     );
     // Return routing: each request packet travels from its sorted
     // position back to its origin processor. Values ride in a side
-    // table indexed by packet id (tags stay small).
-    let mut engine = Engine::new(shape);
+    // table indexed by packet id (tags stay small). The engine comes
+    // from the simulator's execution context, so it carries the
+    // configured thread count (a bare `Engine::new` here used to ignore
+    // it).
+    let mut engine = sim.exec().engine(shape);
     let mut results: Vec<Option<u64>> = vec![None; step.ops.len()];
     let mut payloads: Vec<(u32, u64)> = Vec::new();
     for (pos, buf) in items2.iter().enumerate() {
@@ -197,6 +194,7 @@ pub fn step_crew(sim: &mut PramMeshSim, step: &PramStep) -> Result<CrewReport, S
         let (proc, value) = payloads[pkt.tag as usize];
         results[proc as usize] = Some(value);
     }
+    sim.exec().recycle(engine);
     // Writers and idle processors report None; representatives keep
     // their own results too (their packet also returned).
     for (p, op) in step.ops.iter().enumerate() {

@@ -15,12 +15,14 @@
 //! sorter + segmented rank on the full mesh) so the reported culling
 //! time is a *measured* quantity with the Eq. (2) shape `O(k·q^k·√n)`.
 
+use prasim_exec::ExecCtx;
 use prasim_hmos::{CopyAddr, Hmos, TargetSpec};
+use prasim_mesh::engine::default_threads;
 use prasim_mesh::topology::MeshShape;
 use prasim_routing::problem::SplitMix64;
 use prasim_sortnet::rank::rank_sorted;
 use prasim_sortnet::snake::snake_index;
-use prasim_sortnet::sorter::{default_sorter, Sorter};
+use prasim_sortnet::sorter::default_sorter;
 
 /// A culled copy with its resolved physical address.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -122,22 +124,24 @@ pub fn select_all(hmos: &Hmos, requests: &[Option<u64>]) -> CullingOutcome {
     }
 }
 
-/// Runs CULLING with the process default sorter — see [`cull_with`].
+/// Runs CULLING on a throwaway execution context with the process
+/// default sorter and thread count — see [`cull_with`].
 pub fn cull(hmos: &Hmos, requests: &[Option<u64>], slack: f64, analytic: bool) -> CullingOutcome {
-    cull_with(hmos, requests, slack, analytic, default_sorter())
+    let mut ctx = ExecCtx::new(default_threads(), default_sorter(), analytic);
+    cull_with(hmos, requests, slack, &mut ctx)
 }
 
 /// Runs CULLING for the requested variables (`requests[p]` is processor
 /// `p`'s variable). `slack` scales the marking bound (1.0 = the paper's
 /// constant; smaller values stress the fallback path — used by the
-/// ablation benches). `sorter` selects the step-simulated mesh sorter
-/// the marking sorts run on.
+/// ablation benches). The marking sorts run on the context's sorter and
+/// pooled resources; the per-iteration sort/rank costs are charged
+/// through the context's [`prasim_exec::CostLedger`].
 pub fn cull_with(
     hmos: &Hmos,
     requests: &[Option<u64>],
     slack: f64,
-    analytic: bool,
-    sorter: Sorter,
+    ctx: &mut ExecCtx,
 ) -> CullingOutcome {
     let params = hmos.params();
     let (q, k, n) = (params.q, params.k, params.n);
@@ -205,7 +209,7 @@ pub fn cull_with(
             }
             h = h.max(items[pos].len());
         }
-        let sort_cost = sorter.sort(&mut items, shape.rows, shape.cols, h);
+        let sort_cost = ctx.sort(&mut items, shape.rows, shape.cols, h);
         let (ranks, _counts, rank_cost) =
             rank_sorted(&items, shape.rows, shape.cols, |&(page, _, _)| page);
 
@@ -265,7 +269,8 @@ pub fn cull_with(
         }
         let max_page_load = loads.values().copied().max().unwrap_or(0);
 
-        let sort_steps = sort_cost.charged(analytic) + rank_cost.charged(analytic) + qk; // + O(q^k) local
+        let ledger = ctx.ledger_mut();
+        let sort_steps = ledger.charge(&sort_cost) + ledger.charge(&rank_cost) + qk; // + O(q^k) local
         report.total_steps += sort_steps;
         report.iterations.push(CullIteration {
             level: i,

@@ -16,15 +16,15 @@
 
 use crate::culling::SelectedCopy;
 use crate::pram::Op;
+use prasim_exec::ExecCtx;
 use prasim_fault::{CopyFaultKind, FaultPlan};
 use prasim_hmos::{CopyReport, Hmos, QuorumRead, TargetSpec};
-use prasim_mesh::engine::{Engine, EngineError, Packet};
+use prasim_mesh::engine::{EngineError, Packet};
 use prasim_mesh::region::Rect;
 use prasim_mesh::topology::Coord;
 use prasim_sortnet::rank::rank_sorted;
 use prasim_sortnet::shearsort::SortCost;
 use prasim_sortnet::snake::{snake_coord, snake_index};
-use prasim_sortnet::sorter::{default_sorter, Sorter};
 use std::collections::HashMap;
 
 /// A memory cell: `(value, timestamp)`; absent cells read as `(0, 0)`.
@@ -48,27 +48,21 @@ pub enum ReadPolicy {
     HierarchicalMajority,
 }
 
-/// Per-call knobs of [`access_protocol`] (the positional argument list
-/// outgrew itself once fault injection arrived).
+/// Per-call knobs of [`access_protocol`]. Execution resources — worker
+/// threads, the stage sorter, analytic-vs-measured charging — live on
+/// the [`ExecCtx`] the protocol borrows; `RunOptions` carries only the
+/// per-step semantics: the clock, budgets, read policy, and faults.
 #[derive(Debug, Clone, Copy)]
 pub struct RunOptions<'a> {
     /// Timestamp assigned to this step's writes (the PRAM step number).
     pub clock: u64,
     /// Step budget per routing phase.
     pub max_engine_steps: u64,
-    /// Charge analytic sort bounds instead of measured shearsort steps.
-    pub analytic: bool,
     /// Read-resolution policy.
     pub policy: ReadPolicy,
     /// Fault scenario in force, if any: machine faults become per-step
     /// engine masks, cell faults overlay the memory accesses.
     pub faults: Option<&'a FaultPlan>,
-    /// Worker threads the routing engines shard their rows across (1 =
-    /// sequential; the results never depend on the value).
-    pub threads: usize,
-    /// The step-simulated sorter the stage sorts run
-    /// ([`Sorter::Columnsort`] by default).
-    pub sorter: Sorter,
 }
 
 impl RunOptions<'static> {
@@ -77,11 +71,8 @@ impl RunOptions<'static> {
         RunOptions {
             clock,
             max_engine_steps: 100_000_000,
-            analytic: false,
             policy: ReadPolicy::Freshest,
             faults: None,
-            threads: prasim_mesh::engine::default_threads(),
-            sorter: default_sorter(),
         }
     }
 }
@@ -98,24 +89,9 @@ impl<'a> RunOptions<'a> {
         RunOptions {
             clock: self.clock,
             max_engine_steps: self.max_engine_steps,
-            analytic: self.analytic,
             policy: self.policy,
             faults: Some(faults),
-            threads: self.threads,
-            sorter: self.sorter,
         }
-    }
-
-    /// Sets the engine worker-thread count (clamped to at least 1).
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
-        self
-    }
-
-    /// Selects the mesh sorter for the protocol's stage sorts.
-    pub fn with_sorter(mut self, sorter: Sorter) -> Self {
-        self.sorter = sorter;
-        self
     }
 }
 
@@ -181,31 +157,27 @@ struct Pkt {
 ///
 /// `memory[node]` maps slots to cells. `ops[p]` / `selected[p]` give
 /// processor `p`'s operation and selected copy set; `run` carries the
-/// clock, budgets, read policy, and fault scenario.
+/// clock, budgets, read policy, and fault scenario; `ctx` provides the
+/// pooled engines, the stage sorter, the scratch arena, and the cost
+/// ledger the sort charges flow through.
 pub fn access_protocol(
     hmos: &Hmos,
     memory: &mut [HashMap<u64, Cell>],
     ops: &[Option<Op>],
     selected: &[Vec<SelectedCopy>],
     run: &RunOptions<'_>,
+    ctx: &mut ExecCtx,
 ) -> Result<AccessResult, EngineError> {
     let shape = hmos.shape();
     let k = hmos.params().k;
     let full = Rect::full(shape);
     let clock = run.clock;
-    let analytic = run.analytic;
 
     // Machine faults in force this step, if any.
     let mask = run
         .faults
         .map(|f| f.mask_at(shape, clock))
         .filter(|m| !m.is_empty());
-    let make_engine = || match &mask {
-        Some(m) => Engine::new(shape)
-            .with_threads(run.threads)
-            .with_faults(m.clone()),
-        None => Engine::new(shape).with_threads(run.threads),
-    };
 
     // Flatten packets.
     let mut pkts: Vec<Pkt> = Vec::new();
@@ -223,10 +195,11 @@ pub fn access_protocol(
 
     let mut report = ProtocolReport::default();
 
-    // Scratch arena for the per-group snake-indexed buffers: grown to the
+    // Scratch arena for the per-group snake-indexed buffers: borrowed
+    // from the context (where it survives across steps), grown to the
     // largest submesh once, then reused across groups and stages so the
     // per-stage Vec<Vec<…>> churn disappears from the hot loop.
-    let mut arena: Vec<Vec<(u32, u32)>> = Vec::new();
+    let mut arena = ctx.take_arena();
 
     // Stages k+1 down to 2: spread into the destination level-(i-1) pages.
     for stage in (2..=k + 1).rev() {
@@ -246,7 +219,10 @@ pub fn access_protocol(
         }
 
         let mut max_sort = SortCost::default();
-        let mut engine = make_engine();
+        let mut engine = match &mask {
+            Some(m) => ctx.engine(shape).with_faults(m.clone()),
+            None => ctx.engine(shape),
+        };
         let mut in_stage = vec![false; pkts.len()];
         let mut group_keys: Vec<u32> = groups.keys().copied().collect();
         group_keys.sort_unstable(); // deterministic order
@@ -276,11 +252,11 @@ pub fn access_protocol(
                 items[pos].push((child, id as u32));
                 h = h.max(items[pos].len());
             }
-            let mut cost = run.sorter.sort(items, rect.rows, rect.cols, h);
+            let mut cost = ctx.sort(items, rect.rows, rect.cols, h);
             let (ranks, _counts, rank_cost) =
                 rank_sorted(items, rect.rows, rect.cols, |&(child, _)| child);
             cost.add(rank_cost);
-            if cost.charged(analytic) > max_sort.charged(analytic) {
+            if ctx.ledger().value(&cost) > ctx.ledger().value(&max_sort) {
                 max_sort = cost;
             }
             // Post-sort positions + spread destinations; inject.
@@ -317,6 +293,7 @@ pub fn access_protocol(
             pkts[pkt.tag as usize].cur = node;
             *per_node.entry(node).or_insert(0) += 1;
         }
+        ctx.recycle(engine);
         // Anything injected but not delivered was swallowed by a fault.
         for (id, lost) in in_stage.into_iter().enumerate() {
             if lost {
@@ -324,18 +301,25 @@ pub fn access_protocol(
             }
         }
         let max_node_load = per_node.values().copied().max().unwrap_or(0);
+        let sort_steps = ctx.ledger_mut().charge(&max_sort);
         report.stages.push(StageReport {
             stage,
-            sort_steps: max_sort.charged(analytic),
+            sort_steps,
             route_steps: stats.steps,
             max_node_load,
         });
-        report.total_steps += max_sort.charged(analytic) + stats.steps;
+        report.total_steps += sort_steps + stats.steps;
     }
+
+    // The slab is done growing: hand it back for the next step.
+    ctx.store_arena(arena);
 
     // Stage 1: deliver to the copy-holding processors.
     {
-        let mut engine = make_engine();
+        let mut engine = match &mask {
+            Some(m) => ctx.engine(shape).with_faults(m.clone()),
+            None => ctx.engine(shape),
+        };
         let mut in_stage = vec![false; pkts.len()];
         for (id, pkt) in pkts.iter().enumerate() {
             if !pkt.alive {
@@ -364,6 +348,7 @@ pub fn access_protocol(
             pkts[pkt.tag as usize].cur = node;
             *per_node.entry(node).or_insert(0) += 1;
         }
+        ctx.recycle(engine);
         for (id, lost) in in_stage.into_iter().enumerate() {
             if lost {
                 pkts[id].alive = false;
@@ -510,6 +495,7 @@ mod tests {
             &wstep.ops,
             &sel.selected,
             &RunOptions::new(1),
+            &mut ExecCtx::from_defaults(),
         )
         .unwrap();
         assert!(res.reads.iter().all(Option::is_none));
@@ -521,6 +507,7 @@ mod tests {
             &rstep.ops,
             &sel.selected,
             &RunOptions::new(2),
+            &mut ExecCtx::from_defaults(),
         )
         .unwrap();
         for (p, read) in res.reads.iter().enumerate() {
@@ -544,6 +531,7 @@ mod tests {
             &step.ops,
             &sel.selected,
             &RunOptions::new(1),
+            &mut ExecCtx::from_defaults(),
         )
         .unwrap();
         for p in 0..64 {
@@ -568,6 +556,7 @@ mod tests {
             &step.ops,
             &sel.selected,
             &RunOptions::new(1),
+            &mut ExecCtx::from_defaults(),
         )
         .unwrap();
         // k = 2: stages 3, 2, 1.
@@ -610,6 +599,7 @@ mod tests {
             &wstep.ops,
             &sel.selected,
             &RunOptions::new(1),
+            &mut ExecCtx::from_defaults(),
         )
         .unwrap();
         wstep.ops[0] = Some(Op::Write { var: v, value: 222 });
@@ -619,6 +609,7 @@ mod tests {
             &wstep.ops,
             &sel.selected,
             &RunOptions::new(2),
+            &mut ExecCtx::from_defaults(),
         )
         .unwrap();
         let mut rstep = PramStep {
@@ -631,6 +622,7 @@ mod tests {
             &rstep.ops,
             &sel.selected,
             &RunOptions::new(3),
+            &mut ExecCtx::from_defaults(),
         )
         .unwrap();
         assert_eq!(res.reads[0], Some(222));
@@ -648,7 +640,15 @@ mod tests {
         let mut wstep = workload::write_step(&vars, 9000);
         wstep.ops.resize(1024, None);
         let opts = RunOptions::new(1).with_policy(ReadPolicy::HierarchicalMajority);
-        let res = access_protocol(&h, &mut memory, &wstep.ops, &sel.selected, &opts).unwrap();
+        let res = access_protocol(
+            &h,
+            &mut memory,
+            &wstep.ops,
+            &sel.selected,
+            &opts,
+            &mut ExecCtx::from_defaults(),
+        )
+        .unwrap();
         for p in 0..512 {
             assert_eq!(res.write_committed[p], Some(true), "processor {p}");
         }
@@ -656,7 +656,15 @@ mod tests {
         let mut rstep = workload::read_step(&vars);
         rstep.ops.resize(1024, None);
         let opts = RunOptions::new(2).with_policy(ReadPolicy::HierarchicalMajority);
-        let res = access_protocol(&h, &mut memory, &rstep.ops, &sel.selected, &opts).unwrap();
+        let res = access_protocol(
+            &h,
+            &mut memory,
+            &rstep.ops,
+            &sel.selected,
+            &opts,
+            &mut ExecCtx::from_defaults(),
+        )
+        .unwrap();
         for p in 0..512 {
             assert_eq!(res.reads[p], Some(9000 + p as u64), "processor {p}");
             assert!(matches!(res.outcomes[p], Some(QuorumRead::Value { .. })));
@@ -683,7 +691,15 @@ mod tests {
         };
         wstep.ops[0] = Some(Op::Write { var: v, value: 555 });
         let opts = RunOptions::new(1).with_policy(ReadPolicy::HierarchicalMajority);
-        access_protocol(&h, &mut memory, &wstep.ops, &all.selected, &opts).unwrap();
+        access_protocol(
+            &h,
+            &mut memory,
+            &wstep.ops,
+            &all.selected,
+            &opts,
+            &mut ExecCtx::from_defaults(),
+        )
+        .unwrap();
 
         // Corrupt fewer copies than the tolerance bound ⌈q/2⌉^k = 4.
         let mut plan = FaultPlan::new(5);
@@ -697,7 +713,15 @@ mod tests {
 
         // Freshest over the same full copy set: the forged timestamps win.
         let fresh = RunOptions::new(2).with_faults(&plan);
-        let res = access_protocol(&h, &mut memory, &rstep.ops, &all.selected, &fresh).unwrap();
+        let res = access_protocol(
+            &h,
+            &mut memory,
+            &rstep.ops,
+            &all.selected,
+            &fresh,
+            &mut ExecCtx::from_defaults(),
+        )
+        .unwrap();
         assert_ne!(
             res.reads[0],
             Some(555),
@@ -709,7 +733,15 @@ mod tests {
         let quorum = RunOptions::new(2)
             .with_policy(ReadPolicy::HierarchicalMajority)
             .with_faults(&plan);
-        let res = access_protocol(&h, &mut memory, &rstep.ops, &all.selected, &quorum).unwrap();
+        let res = access_protocol(
+            &h,
+            &mut memory,
+            &rstep.ops,
+            &all.selected,
+            &quorum,
+            &mut ExecCtx::from_defaults(),
+        )
+        .unwrap();
         assert_eq!(res.reads[0], Some(555));
         assert!(matches!(
             res.outcomes[0],
@@ -736,7 +768,15 @@ mod tests {
         };
         wstep.ops[0] = Some(Op::Write { var: v, value: 321 });
         let opts = RunOptions::new(1).with_policy(ReadPolicy::HierarchicalMajority);
-        access_protocol(&h, &mut memory, &wstep.ops, &all.selected, &opts).unwrap();
+        access_protocol(
+            &h,
+            &mut memory,
+            &wstep.ops,
+            &all.selected,
+            &opts,
+            &mut ExecCtx::from_defaults(),
+        )
+        .unwrap();
 
         let mut rstep = PramStep {
             ops: vec![None; 1024],
@@ -754,7 +794,15 @@ mod tests {
             let quorum = RunOptions::new(2)
                 .with_policy(ReadPolicy::HierarchicalMajority)
                 .with_faults(&plan);
-            let res = access_protocol(&h, &mut memory, &rstep.ops, &all.selected, &quorum).unwrap();
+            let res = access_protocol(
+                &h,
+                &mut memory,
+                &rstep.ops,
+                &all.selected,
+                &quorum,
+                &mut ExecCtx::from_defaults(),
+            )
+            .unwrap();
             // Either the healthy leaves still contain a target set (the
             // true value certifies) or the read fails *detectably* —
             // the distinct garbage can never collude into a quorum.

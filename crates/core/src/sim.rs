@@ -3,6 +3,7 @@
 use crate::culling::{cull_with, select_all, CullingReport};
 use crate::pram::{Op, PramStep};
 use crate::protocol::{access_protocol, Cell, ProtocolReport, ReadPolicy, RunOptions};
+use prasim_exec::ExecCtx;
 use prasim_fault::{FaultPlan, ReadOutcome, ReadRecord, TraceChecker, TraceReport, WriteRecord};
 use prasim_hmos::{CopyAddr, Hmos, HmosError, HmosParams, QuorumRead};
 use prasim_mesh::engine::EngineError;
@@ -202,14 +203,18 @@ pub struct PramMeshSim {
     clock: u64,
     fault_plan: Option<FaultPlan>,
     checker: TraceChecker,
+    exec: ExecCtx,
 }
 
 impl PramMeshSim {
     /// Builds the simulator: derives HMOS parameters, constructs the
-    /// replication graphs and the page tessellations.
+    /// replication graphs and the page tessellations, and builds the
+    /// execution context (worker pool, engine pool, sorter resources,
+    /// cost ledger) every step borrows.
     pub fn new(config: SimConfig) -> Result<Self, SimError> {
         let params = HmosParams::new(config.q, config.k, config.n, config.memory)?;
         let hmos = Hmos::new(params)?;
+        let exec = ExecCtx::new(config.threads, config.sorter, config.analytic_sort);
         Ok(PramMeshSim {
             memory: vec![HashMap::new(); config.n as usize],
             hmos,
@@ -217,7 +222,14 @@ impl PramMeshSim {
             clock: 0,
             fault_plan: None,
             checker: TraceChecker::new(),
+            exec,
         })
+    }
+
+    /// The simulation's execution context (pooled engines and worker
+    /// threads, sorter resources, cost ledger).
+    pub fn exec(&mut self) -> &mut ExecCtx {
+        &mut self.exec
     }
 
     /// Installs a fault scenario; subsequent steps run against it. The
@@ -281,6 +293,11 @@ impl PramMeshSim {
         ops.resize(self.config.n as usize, None);
         let requests: Vec<Option<u64>> = ops.iter().map(|o| o.map(|op| op.var())).collect();
 
+        // Under `--ctx fresh` the context sheds its pooled state at every
+        // step boundary (the seed's cold-start behavior); the default
+        // reuses pools across steps. Results are byte-identical.
+        self.exec.maybe_renew();
+
         // Freshest reads use the culled minimal target sets; majority
         // reads must see every copy so the quorum can out-vote faults.
         let culled = match self.config.read_policy {
@@ -288,8 +305,7 @@ impl PramMeshSim {
                 &self.hmos,
                 &requests,
                 self.config.culling_slack,
-                self.config.analytic_sort,
-                self.config.sorter,
+                &mut self.exec,
             ),
             ReadPolicy::HierarchicalMajority => select_all(&self.hmos, &requests),
         };
@@ -297,14 +313,17 @@ impl PramMeshSim {
         let run = RunOptions {
             clock: self.clock,
             max_engine_steps: self.config.max_engine_steps,
-            analytic: self.config.analytic_sort,
             policy: self.config.read_policy,
             faults: self.fault_plan.as_ref(),
-            threads: self.config.threads,
-            sorter: self.config.sorter,
         };
-        let mut access =
-            access_protocol(&self.hmos, &mut self.memory, &ops, &culled.selected, &run)?;
+        let mut access = access_protocol(
+            &self.hmos,
+            &mut self.memory,
+            &ops,
+            &culled.selected,
+            &run,
+            &mut self.exec,
+        )?;
 
         // Feed the consistency checker before truncating.
         let mut read_recs = Vec::new();

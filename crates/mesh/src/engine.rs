@@ -43,11 +43,12 @@
 //! matrix, which diffs whole reproduce tables across `--threads 1/2/8`.
 
 use crate::fault::FaultMask;
+use crate::pool::WorkerPool;
 use crate::region::Rect;
 use crate::topology::{Coord, Dir, MeshShape};
 use crate::trace::LinkTrace;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Barrier, Mutex, OnceLock};
+use std::sync::{Arc, Barrier, Mutex, OnceLock};
 
 /// Process-wide thread-count override installed by [`set_global_threads`]
 /// (0 = unset).
@@ -401,6 +402,10 @@ pub struct Engine {
     /// Worker threads the step loop shards its rows across (1 =
     /// sequential). Never changes the results, only the wall clock.
     threads: usize,
+    /// The persistent worker pool the sharded step loop borrows its
+    /// threads from. `None` falls back to the process-wide shared pool
+    /// ([`WorkerPool::shared`]); an execution context installs its own.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl Engine {
@@ -416,7 +421,24 @@ impl Engine {
             trace: None,
             faults: None,
             threads: default_threads(),
+            pool: None,
         }
+    }
+
+    /// Returns the engine to its post-[`Engine::new`] state while keeping
+    /// every allocation (per-node queue capacity in particular), so a
+    /// pooled engine can be reused across protocol stages without paying
+    /// the buffer build again. Threads keep their configured value;
+    /// trace, faults, stats, queues and delivered packets are cleared.
+    pub fn reset(&mut self) {
+        for q in &mut self.resident {
+            q.clear();
+        }
+        self.delivered.clear();
+        self.in_flight = 0;
+        self.stats = EngineStats::default();
+        self.trace = None;
+        self.faults = None;
     }
 
     /// Enables per-link traversal tracing (congestion heatmaps).
@@ -430,14 +452,32 @@ impl Engine {
     /// count at run time). Results are byte-identical for every value —
     /// only wall-clock time changes.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.set_threads(threads);
         self
+    }
+
+    /// In-place form of [`Engine::with_threads`] for pooled engines.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 
     /// The configured worker-thread count.
     #[inline]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Borrows worker threads from `pool` instead of the process-wide
+    /// shared pool. Execution contexts install their own pool here so
+    /// concurrent simulations never contend on one thread set.
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.set_pool(pool);
+        self
+    }
+
+    /// In-place form of [`Engine::with_pool`].
+    pub fn set_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.pool = Some(pool);
     }
 
     /// Installs a fault mask for this run. Must be called before any
@@ -590,10 +630,16 @@ impl Engine {
         self.absorb_arrivals();
     }
 
-    /// The sharded step loop: `bands` workers on a scoped pool, double
-    /// buffering each step through per-band-pair handoff queues (module
-    /// docs explain why the result is byte-identical to [`Engine::step`]).
+    /// The sharded step loop: `bands` workers borrowed from the
+    /// persistent [`WorkerPool`], double buffering each step through
+    /// per-band-pair handoff queues (module docs explain why the result
+    /// is byte-identical to [`Engine::step`]). No threads are spawned
+    /// here — the pool parks its workers between runs.
     fn run_parallel(&mut self, max_steps: u64, bands: usize) -> Result<EngineStats, EngineError> {
+        let pool = self
+            .pool
+            .clone()
+            .unwrap_or_else(|| Arc::clone(WorkerPool::shared()));
         let shape = self.shape;
         let rows = shape.rows as usize;
         let cols = shape.cols;
@@ -658,78 +704,88 @@ impl Engine {
         let handoff = &handoff;
         let results = &results;
 
-        std::thread::scope(|scope| {
-            for (b, (queues, mut trace)) in band_queues
-                .into_iter()
-                .zip(band_trace.drain(..))
-                .enumerate()
-            {
-                scope.spawn(move || {
-                    let node0 = node_starts[b];
-                    let band_of = |idx: u32| row_band[(idx / cols) as usize];
-                    let mut step = start_step;
-                    loop {
-                        barrier_all.wait();
-                        if stop.load(Ordering::Acquire) {
-                            break;
-                        }
-                        let ctx = StepCtx {
-                            shape,
-                            faults,
-                            step,
-                        };
-                        let mut out = BandScratch::with_bands(bands);
-                        compute_band(&ctx, queues, node0, trace.as_deref_mut(), band_of, &mut out);
-                        // Publish this band's outgoing moves.
-                        std::mem::swap(&mut *handoff[b].lock().unwrap(), &mut out.moves);
-                        barrier_workers.wait();
-                        // Drain incoming moves in fixed source-band order:
-                        // concatenated, they reproduce the sequential
-                        // engine's ascending global node scan.
-                        for src_slot in handoff.iter() {
-                            let incoming = std::mem::take(&mut src_slot.lock().unwrap()[b]);
-                            for (node, fl) in incoming {
-                                queues[(node - node0) as usize].push(fl);
-                            }
-                        }
-                        for q in queues.iter() {
-                            out.max_queue = out.max_queue.max(q.len());
-                        }
-                        absorb_band(shape, faults, queues, node0, &mut out);
-                        *results[b].lock().unwrap() = out;
-                        step += 1;
-                        barrier_all.wait();
+        // The pool job closure is one `Fn(usize)` shared by every
+        // worker, so each band's exclusive state is parked in a slot the
+        // owning worker takes on entry.
+        type BandState<'a> = (&'a mut [Vec<Flight>], Option<&'a mut [[u64; 4]]>);
+        let band_state: Vec<Mutex<Option<BandState<'_>>>> = band_queues
+            .into_iter()
+            .zip(band_trace.drain(..))
+            .map(|(queues, trace)| Mutex::new(Some((queues, trace))))
+            .collect();
+        let band_state = &band_state;
+
+        let worker = move |b: usize| {
+            let (queues, mut trace) = band_state[b]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("band state taken once per run");
+            let node0 = node_starts[b];
+            let band_of = |idx: u32| row_band[(idx / cols) as usize];
+            let mut step = start_step;
+            loop {
+                barrier_all.wait();
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let ctx = StepCtx {
+                    shape,
+                    faults,
+                    step,
+                };
+                let mut out = BandScratch::with_bands(bands);
+                compute_band(&ctx, queues, node0, trace.as_deref_mut(), band_of, &mut out);
+                // Publish this band's outgoing moves.
+                std::mem::swap(&mut *handoff[b].lock().unwrap(), &mut out.moves);
+                barrier_workers.wait();
+                // Drain incoming moves in fixed source-band order:
+                // concatenated, they reproduce the sequential
+                // engine's ascending global node scan.
+                for src_slot in handoff.iter() {
+                    let incoming = std::mem::take(&mut src_slot.lock().unwrap()[b]);
+                    for (node, fl) in incoming {
+                        queues[(node - node0) as usize].push(fl);
                     }
+                }
+                for q in queues.iter() {
+                    out.max_queue = out.max_queue.max(q.len());
+                }
+                absorb_band(shape, faults, queues, node0, &mut out);
+                *results[b].lock().unwrap() = out;
+                step += 1;
+                barrier_all.wait();
+            }
+        };
+        // Coordinator (on the calling thread): frame the steps and fold
+        // the per-band deltas in band order (= node order) after each
+        // one. `WorkerPool::run` returns only after every band worker
+        // has left the loop, so the borrowed band state cannot escape.
+        pool.run(bands, &worker, move || loop {
+            if *in_flight == 0 {
+                stop.store(true, Ordering::Release);
+                barrier_all.wait();
+                return Ok(*stats);
+            }
+            if stats.steps >= max_steps {
+                stop.store(true, Ordering::Release);
+                barrier_all.wait();
+                return Err(EngineError::StepBudgetExceeded {
+                    max_steps,
+                    in_flight: *in_flight,
                 });
             }
-            // Coordinator: frame the steps and fold the per-band deltas
-            // in band order (= node order) after each one.
-            loop {
-                if *in_flight == 0 {
-                    stop.store(true, Ordering::Release);
-                    barrier_all.wait();
-                    return Ok(*stats);
-                }
-                if stats.steps >= max_steps {
-                    stop.store(true, Ordering::Release);
-                    barrier_all.wait();
-                    return Err(EngineError::StepBudgetExceeded {
-                        max_steps,
-                        in_flight: *in_flight,
-                    });
-                }
-                barrier_all.wait(); // release the workers into the step
-                barrier_all.wait(); // wait for every band to finish
-                stats.steps += 1;
-                for slot in results.iter() {
-                    let mut out = slot.lock().unwrap();
-                    stats.total_hops += out.hops;
-                    stats.dropped += out.dropped;
-                    stats.delivered += out.delivered.len() as u64;
-                    stats.max_queue = stats.max_queue.max(out.max_queue);
-                    *in_flight -= out.dropped + out.delivered.len() as u64;
-                    delivered_all.append(&mut out.delivered);
-                }
+            barrier_all.wait(); // release the workers into the step
+            barrier_all.wait(); // wait for every band to finish
+            stats.steps += 1;
+            for slot in results.iter() {
+                let mut out = slot.lock().unwrap();
+                stats.total_hops += out.hops;
+                stats.dropped += out.dropped;
+                stats.delivered += out.delivered.len() as u64;
+                stats.max_queue = stats.max_queue.max(out.max_queue);
+                *in_flight -= out.dropped + out.delivered.len() as u64;
+                delivered_all.append(&mut out.delivered);
             }
         })
     }

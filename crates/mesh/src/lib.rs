@@ -15,6 +15,9 @@
 //!   step counting and congestion metrics).
 //! - [`fault`]: static fault masks — dead nodes, severed and lossy links —
 //!   consulted by the engine to divert or drop packets deterministically.
+//! - [`pool`]: persistent worker threads (parked between runs, no
+//!   per-run spawn/join) and shape-keyed engine reuse, owned by an
+//!   execution context rather than rebuilt per step.
 
 //!
 //! # Example
@@ -38,12 +41,14 @@
 
 pub mod engine;
 pub mod fault;
+pub mod pool;
 pub mod region;
 pub mod topology;
 pub mod trace;
 
 pub use engine::{Engine, EngineStats, Packet};
 pub use fault::FaultMask;
+pub use pool::{EnginePool, WorkerPool};
 pub use region::{Rect, Tessellation};
 pub use topology::{Coord, MeshShape};
 pub use trace::LinkTrace;

@@ -66,7 +66,7 @@ impl Dir {
 
 /// Shape of a rectangular mesh (the full machine is square, `s × s`, but
 /// submeshes may be arbitrary rectangles).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MeshShape {
     /// Number of rows.
     pub rows: u32,

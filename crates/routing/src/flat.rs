@@ -8,17 +8,18 @@
 //! hurt plain greedy routing.
 
 use crate::problem::{RoutingInstance, RoutingOutcome};
-use prasim_mesh::engine::{Engine, EngineError, Packet};
+use prasim_exec::ExecCtx;
+use prasim_mesh::engine::{EngineError, Packet};
 use prasim_mesh::region::Rect;
 use prasim_mesh::topology::Coord;
 use prasim_sortnet::snake::{snake_coord, snake_index};
-use prasim_sortnet::sorter::{default_sorter, Sorter};
+use prasim_sortnet::sorter::Sorter;
 
 /// Routes an `(l1, l2)` instance by sorting by destination and then
-/// greedy-routing from the balanced post-sort positions, using the
-/// process-wide default sorter.
+/// greedy-routing from the balanced post-sort positions, using a
+/// default execution context (process-wide sorter and thread count).
 pub fn route_flat(inst: &RoutingInstance, max_steps: u64) -> Result<RoutingOutcome, EngineError> {
-    route_flat_with(inst, default_sorter(), max_steps)
+    route_flat_ctx(inst, max_steps, &mut ExecCtx::from_defaults())
 }
 
 /// [`route_flat`] with an explicit mesh sorter for the sort phase.
@@ -26,6 +27,21 @@ pub fn route_flat_with(
     inst: &RoutingInstance,
     sorter: Sorter,
     max_steps: u64,
+) -> Result<RoutingOutcome, EngineError> {
+    let mut ctx = ExecCtx::from_defaults();
+    ctx.set_sorter(sorter);
+    route_flat_ctx(inst, max_steps, &mut ctx)
+}
+
+/// [`route_flat`] on a caller-owned execution context: the sort runs
+/// with the context's sorter and resources, and the route engine comes
+/// from the context's pool — configured with the context's thread count
+/// (previously this path built `Engine::new(shape)` directly and
+/// silently ignored the configured thread count).
+pub fn route_flat_ctx(
+    inst: &RoutingInstance,
+    max_steps: u64,
+    ctx: &mut ExecCtx,
 ) -> Result<RoutingOutcome, EngineError> {
     let shape = inst.shape;
     let n = shape.nodes() as usize;
@@ -44,11 +60,11 @@ pub fn route_flat_with(
     }
 
     let mut out = RoutingOutcome::default();
-    let cost = sorter.sort(&mut items, shape.rows, shape.cols, h);
+    let cost = ctx.sort(&mut items, shape.rows, shape.cols, h);
     out.add_sort(cost.steps);
 
     // Greedy route from post-sort positions.
-    let mut engine = Engine::new(shape);
+    let mut engine = ctx.engine(shape);
     let bounds = Rect::full(shape);
     for (pos, buf) in items.iter().enumerate() {
         let (r, c) = snake_coord(shape.cols, pos as u32);
@@ -67,6 +83,7 @@ pub fn route_flat_with(
     let stats = engine.run(max_steps)?;
     out.add_route(stats);
     debug_assert!(crate::greedy::verify_delivery(inst, &mut engine));
+    ctx.recycle(engine);
     Ok(out)
 }
 

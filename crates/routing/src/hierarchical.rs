@@ -13,13 +13,14 @@
 //!    all submeshes in parallel.
 
 use crate::problem::{node_parts, RoutingInstance, RoutingOutcome};
-use prasim_mesh::engine::{Engine, EngineError, Packet};
+use prasim_exec::ExecCtx;
+use prasim_mesh::engine::{EngineError, Packet};
 use prasim_mesh::region::{Rect, Tessellation};
 use prasim_mesh::topology::Coord;
 use prasim_sortnet::rank::rank_sorted;
 use prasim_sortnet::shearsort::SortCost;
 use prasim_sortnet::snake::{snake_coord, snake_index};
-use prasim_sortnet::sorter::{default_sorter, Sorter};
+use prasim_sortnet::sorter::Sorter;
 
 /// Errors from hierarchical routing.
 #[derive(Debug)]
@@ -53,13 +54,14 @@ impl From<EngineError> for HierError {
 }
 
 /// Runs the 4-step `(l1, l2, δ, m)`-routing with the mesh divided into
-/// `parts` submeshes, using the process-wide default sorter.
+/// `parts` submeshes, using a default execution context (process-wide
+/// sorter and thread count).
 pub fn route_hierarchical(
     inst: &RoutingInstance,
     parts: u64,
     max_steps: u64,
 ) -> Result<RoutingOutcome, HierError> {
-    route_hierarchical_with(inst, parts, default_sorter(), max_steps)
+    route_hierarchical_ctx(inst, parts, max_steps, &mut ExecCtx::from_defaults())
 }
 
 /// [`route_hierarchical`] with an explicit mesh sorter for the global
@@ -69,6 +71,22 @@ pub fn route_hierarchical_with(
     parts: u64,
     sorter: Sorter,
     max_steps: u64,
+) -> Result<RoutingOutcome, HierError> {
+    let mut ctx = ExecCtx::from_defaults();
+    ctx.set_sorter(sorter);
+    route_hierarchical_ctx(inst, parts, max_steps, &mut ctx)
+}
+
+/// [`route_hierarchical`] on a caller-owned execution context: sorts use
+/// the context's sorter and resources, and both route engines come from
+/// the context's pool — configured with the context's thread count
+/// (previously these paths built `Engine::new(shape)` directly and
+/// silently ignored the configured thread count).
+pub fn route_hierarchical_ctx(
+    inst: &RoutingInstance,
+    parts: u64,
+    max_steps: u64,
+    ctx: &mut ExecCtx,
 ) -> Result<RoutingOutcome, HierError> {
     let shape = inst.shape;
     let tess =
@@ -88,7 +106,7 @@ pub fn route_hierarchical_with(
         let key = owner[d as usize] as u64 * shape.nodes() + d as u64;
         items[pos].push((key, i as u64));
     }
-    let cost = sorter.sort(&mut items, shape.rows, shape.cols, h);
+    let cost = ctx.sort(&mut items, shape.rows, shape.cols, h);
     out.add_sort(cost.steps);
 
     // Rank within destination-submesh groups.
@@ -98,7 +116,7 @@ pub fn route_hierarchical_with(
     out.add_sort(rank_cost.steps);
 
     // ---- Step 3: spread into destination submeshes (rank i -> slot i mod m).
-    let mut engine = Engine::new(shape);
+    let mut engine = ctx.engine(shape);
     let full = Rect::full(shape);
     for (pos, (buf, rbuf)) in items.iter().zip(&ranks).enumerate() {
         let (r, c) = snake_coord(shape.cols, pos as u32);
@@ -120,6 +138,7 @@ pub fn route_hierarchical_with(
     let stats = engine.run(max_steps)?;
     out.add_route(stats);
     let landed = engine.take_delivered();
+    ctx.recycle(engine);
 
     // ---- Step 4: local sort + route inside each submesh, in parallel. --
     // Gather per-part buffers (local snake indexing within each part).
@@ -144,7 +163,7 @@ pub fn route_hierarchical_with(
     for (part, rect) in tess.parts.iter().enumerate() {
         let buf = &mut part_items[part];
         let hh = buf.iter().map(|v| v.len()).max().unwrap_or(0).max(1);
-        let c = sorter.sort(buf, rect.rows, rect.cols, hh);
+        let c = ctx.sort(buf, rect.rows, rect.cols, hh);
         if c.steps > max_local_sort.steps {
             max_local_sort = c;
         }
@@ -152,7 +171,7 @@ pub fn route_hierarchical_with(
     out.add_sort(max_local_sort.steps);
 
     // Final local routes, all parts simultaneously in one engine run.
-    let mut engine = Engine::new(shape);
+    let mut engine = ctx.engine(shape);
     for (part, rect) in tess.parts.iter().enumerate() {
         for (lpos, buf) in part_items[part].iter().enumerate() {
             let (lr, lc) = snake_coord(rect.cols, lpos as u32);
@@ -176,6 +195,7 @@ pub fn route_hierarchical_with(
     let stats = engine.run(max_steps)?;
     out.add_route(stats);
     debug_assert!(crate::greedy::verify_delivery(inst, &mut engine));
+    ctx.recycle(engine);
     Ok(out)
 }
 

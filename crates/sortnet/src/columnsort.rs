@@ -37,9 +37,9 @@
 //! of `r/2` keys across each block boundary.
 
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
 
-use prasim_mesh::engine::{Engine, Packet};
+use prasim_mesh::engine::Packet;
+use prasim_mesh::pool::EnginePool;
 use prasim_mesh::region::Rect;
 use prasim_mesh::topology::MeshShape;
 
@@ -298,7 +298,7 @@ impl Layout {
 }
 
 /// The fixed routes whose engine-measured costs are memoized per shape.
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum PermKind {
     Transpose,
     Untranspose,
@@ -308,15 +308,44 @@ enum PermKind {
 
 type PermCacheKey = (u32, u32, u32, u32, u32, PermKind);
 
-fn perm_cache() -> &'static Mutex<HashMap<PermCacheKey, u64>> {
-    static CACHE: OnceLock<Mutex<HashMap<PermCacheKey, u64>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+/// The per-context memo of engine-measured permutation-route costs,
+/// keyed by `(rows, cols, h, sr, sc, kind)`. Memoization is valid
+/// because the routes are fixed and data-independent and the engine is
+/// byte-deterministic for every worker count — so the memo only affects
+/// wall clock, never the charged step counts. Owned by an execution
+/// context (`prasim-exec`) rather than a process-wide lock, so
+/// concurrent simulations neither contend on nor cross-pollinate each
+/// other's cached routes.
+#[derive(Debug, Default)]
+pub struct RouteMemo {
+    costs: HashMap<PermCacheKey, u64>,
+}
+
+impl RouteMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        RouteMemo::default()
+    }
+
+    /// Number of distinct `(shape, block-plan, route)` costs cached.
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Whether nothing has been measured yet.
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
 }
 
 /// Runs the route `pairs` (row-major node indices, one packet per pair)
-/// on a fresh engine and returns the synchronous step count.
-fn measure_route(shape: MeshShape, pairs: impl Iterator<Item = (u32, u32)>) -> u64 {
-    let mut eng = Engine::new(shape);
+/// on a pooled engine and returns the synchronous step count.
+fn measure_route(
+    engines: &mut EnginePool,
+    shape: MeshShape,
+    pairs: impl Iterator<Item = (u32, u32)>,
+) -> u64 {
+    let mut eng = engines.checkout(shape);
     let full = Rect::full(shape);
     let mut id = 0u64;
     for (src, dst) in pairs {
@@ -335,40 +364,45 @@ fn measure_route(shape: MeshShape, pairs: impl Iterator<Item = (u32, u32)>) -> u
         id += 1;
     }
     if id == 0 {
+        engines.recycle(eng);
         return 0;
     }
     let stats = eng
         .run(100_000_000)
         .expect("fixed permutation route exceeded step budget");
+    engines.recycle(eng);
     stats.steps
 }
 
 /// Engine-measured cost of one of the sorter's fixed permutations,
-/// memoized by `(rows, cols, h, sr, sc, kind)` — valid because the
-/// routes are data-independent and the engine is deterministic.
+/// memoized in `memo` by `(rows, cols, h, sr, sc, kind)` — valid
+/// because the routes are data-independent and the engine is
+/// deterministic.
 fn perm_cost(
-    rows: u32,
-    cols: u32,
+    shape: MeshShape,
     h: usize,
     plan: &BlockPlan,
     layout: &Layout,
     kind: PermKind,
+    engines: &mut EnginePool,
+    memo: &mut RouteMemo,
 ) -> u64 {
-    let key = (rows, cols, h as u32, plan.sr, plan.sc, kind);
-    if let Some(&c) = perm_cache().lock().unwrap().get(&key) {
+    let key = (shape.rows, shape.cols, h as u32, plan.sr, plan.sc, kind);
+    if let Some(&c) = memo.costs.get(&key) {
         return c;
     }
-    let shape = MeshShape { rows, cols };
     let (r, s) = (plan.r, plan.s as usize);
     let slots = layout.node.len();
     let cost = match kind {
         // Element at matrix slot `seq` moves to slot (seq%s)·r + seq/s.
         PermKind::Transpose => measure_route(
+            engines,
             shape,
             (0..slots).map(|seq| (layout.node[seq], layout.node[(seq % s) * r + seq / s])),
         ),
         // The inverse: slot (t%s)·r + t/s moves to slot t.
         PermKind::Untranspose => measure_route(
+            engines,
             shape,
             (0..slots).map(|t| (layout.node[(t % s) * r + t / s], layout.node[t])),
         ),
@@ -378,6 +412,7 @@ fn perm_cost(
         PermKind::MergeExchange => {
             let half = r / 2;
             measure_route(
+                engines,
                 shape,
                 (1..s)
                     .flat_map(|j| {
@@ -393,14 +428,15 @@ fn perm_cost(
         // Sorted block-major order → global snake order: rank t goes to
         // snake position t/h.
         PermKind::Relayout => measure_route(
+            engines,
             shape,
             (0..slots).map(|t| {
-                let (gr, gc) = snake_coord(cols, (t / h) as u32);
-                (layout.node[t], gr * cols + gc)
+                let (gr, gc) = snake_coord(shape.cols, (t / h) as u32);
+                (layout.node[t], gr * shape.cols + gc)
             }),
         ),
     };
-    perm_cache().lock().unwrap().insert(key, cost);
+    memo.costs.insert(key, cost);
     cost
 }
 
@@ -508,6 +544,27 @@ pub fn columnsort_mesh<T: Ord + Copy>(
     cols: u32,
     h: usize,
 ) -> SortCost {
+    // Compatibility entry point: an ephemeral pool + memo. The memo is
+    // wall-clock-only caching (charged costs are identical either way),
+    // so standalone calls lose nothing but the reuse an execution
+    // context would provide.
+    let mut engines = EnginePool::new();
+    let mut memo = RouteMemo::new();
+    columnsort_mesh_with(items, rows, cols, h, &mut engines, &mut memo)
+}
+
+/// [`columnsort_mesh`] with caller-owned execution resources: `engines`
+/// serves the permutation-route measurements (reusing buffers across
+/// measurements and calls) and `memo` carries the per-shape route costs
+/// — both normally owned by an execution context (`prasim-exec`).
+pub fn columnsort_mesh_with<T: Ord + Copy>(
+    items: &mut [Vec<T>],
+    rows: u32,
+    cols: u32,
+    h: usize,
+    engines: &mut EnginePool,
+    memo: &mut RouteMemo,
+) -> SortCost {
     assert_eq!(items.len(), (rows as u64 * cols as u64) as usize);
     assert!(h >= 1);
     for v in items.iter() {
@@ -543,7 +600,15 @@ pub fn columnsort_mesh<T: Ord + Copy>(
     for (seq, &x) in perm_scratch.iter().enumerate() {
         a[(seq % s) * r + seq / s] = x;
     }
-    steps += perm_cost(rows, cols, h, &plan, &layout, PermKind::Transpose);
+    steps += perm_cost(
+        MeshShape { rows, cols },
+        h,
+        &plan,
+        &layout,
+        PermKind::Transpose,
+        engines,
+        memo,
+    );
     // Phase 3.
     steps += sort_blocks(&mut a, h, &plan, &mut blk_scratch);
     // Phase 4: inverse reshape.
@@ -552,14 +617,38 @@ pub fn columnsort_mesh<T: Ord + Copy>(
     for (t, slot) in a.iter_mut().enumerate() {
         *slot = perm_scratch[(t % s) * r + t / s];
     }
-    steps += perm_cost(rows, cols, h, &plan, &layout, PermKind::Untranspose);
+    steps += perm_cost(
+        MeshShape { rows, cols },
+        h,
+        &plan,
+        &layout,
+        PermKind::Untranspose,
+        engines,
+        memo,
+    );
     // Phase 5.
     steps += sort_blocks(&mut a, h, &plan, &mut blk_scratch);
     // Phases 6–8 as disjoint adjacent-column boundary merges.
     merge_adjacent(&mut a, r, s, &mut perm_scratch);
-    steps += perm_cost(rows, cols, h, &plan, &layout, PermKind::MergeExchange);
+    steps += perm_cost(
+        MeshShape { rows, cols },
+        h,
+        &plan,
+        &layout,
+        PermKind::MergeExchange,
+        engines,
+        memo,
+    );
     // Final fixed permutation: block-major sorted order → snake order.
-    steps += perm_cost(rows, cols, h, &plan, &layout, PermKind::Relayout);
+    steps += perm_cost(
+        MeshShape { rows, cols },
+        h,
+        &plan,
+        &layout,
+        PermKind::Relayout,
+        engines,
+        memo,
+    );
 
     for buf in items.iter_mut() {
         buf.clear();
@@ -736,6 +825,25 @@ mod tests {
         let c1 = columnsort_mesh(&mut a, 16, 16, 2);
         let c2 = columnsort_mesh(&mut b, 16, 16, 2);
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn memoized_context_path_matches_standalone() {
+        let mut engines = EnginePool::new();
+        let mut memo = RouteMemo::new();
+        let mut a = mesh_items(256, 2, 11);
+        let mut b = a.clone();
+        let mut c = a.clone();
+        let solo = columnsort_mesh(&mut a, 16, 16, 2);
+        let c1 = columnsort_mesh_with(&mut b, 16, 16, 2, &mut engines, &mut memo);
+        assert_eq!(solo, c1, "context resources must not change the cost");
+        assert_eq!(a, b, "context resources must not change the output");
+        let measured = memo.len();
+        assert!(measured >= 4, "four fixed routes measured");
+        let c2 = columnsort_mesh_with(&mut c, 16, 16, 2, &mut engines, &mut memo);
+        assert_eq!(c1, c2);
+        assert_eq!(memo.len(), measured, "repeat shape hits the memo");
+        assert!(engines.reused() > 0, "route engines are recycled");
     }
 
     #[test]

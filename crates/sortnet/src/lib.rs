@@ -45,7 +45,7 @@ pub mod snake;
 pub mod sorter;
 
 pub use broadcast::segmented_broadcast;
-pub use columnsort::{columnsort, columnsort_mesh};
+pub use columnsort::{columnsort, columnsort_mesh, columnsort_mesh_with, RouteMemo};
 pub use rank::rank_sorted;
 pub use shearsort::{shearsort, SortCost};
 pub use snake::snake_index;

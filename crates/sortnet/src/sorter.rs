@@ -19,7 +19,9 @@
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
-use crate::columnsort::columnsort_mesh;
+use prasim_mesh::pool::EnginePool;
+
+use crate::columnsort::{columnsort_mesh_with, RouteMemo};
 use crate::shearsort::{shearsort, SortCost};
 
 /// Selects the step-simulated sorting algorithm used by the simulation.
@@ -46,9 +48,30 @@ impl Sorter {
         cols: u32,
         h: usize,
     ) -> SortCost {
+        // Standalone entry point: ephemeral execution resources. Charged
+        // costs are identical to `sort_with` — pooling only affects wall
+        // clock.
+        let mut engines = EnginePool::new();
+        let mut memo = RouteMemo::new();
+        self.sort_with(items, rows, cols, h, &mut engines, &mut memo)
+    }
+
+    /// [`Sorter::sort`] with caller-owned execution resources (normally
+    /// an execution context's engine pool and columnsort route memo).
+    /// Shearsort needs neither; columnsort uses them for its permutation
+    /// route measurements.
+    pub fn sort_with<T: Ord + Copy>(
+        self,
+        items: &mut [Vec<T>],
+        rows: u32,
+        cols: u32,
+        h: usize,
+        engines: &mut EnginePool,
+        memo: &mut RouteMemo,
+    ) -> SortCost {
         match self {
             Sorter::Shearsort => shearsort(items, rows, cols, h),
-            Sorter::Columnsort => columnsort_mesh(items, rows, cols, h),
+            Sorter::Columnsort => columnsort_mesh_with(items, rows, cols, h, engines, memo),
         }
     }
 

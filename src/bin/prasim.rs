@@ -5,7 +5,7 @@
 //!                  [--workload random|adversarial|strided] [--seed 42]
 //!                  [--slack 1.0] [--analytic]
 //!                  [--policy freshest|quorum] [--threads N]
-//!                  [--sorter shearsort|columnsort]
+//!                  [--sorter shearsort|columnsort] [--ctx fresh|reused]
 //!                  [--dead N] [--sever N] [--lossy N]
 //!                  [--corrupt N] [--freeze N]
 //!                  [--fault-seed S] [--fault-from T]
@@ -25,7 +25,11 @@
 //! available parallelism); the output is byte-identical for every N.
 //! `--sorter` selects the mesh sorting network used by every sort phase
 //! (default: the step-simulated columnsort; `shearsort` restores the
-//! previous merge-split shearsort).
+//! previous merge-split shearsort). `--ctx` controls whether each
+//! simulation keeps its pooled execution state (worker threads, engines,
+//! sort memo) warm across PRAM steps (`reused`, the default) or rebuilds
+//! it at every step boundary (`fresh`); the output is byte-identical
+//! either way.
 
 use prasim::bibd::{Bibd, BibdSubgraph};
 use prasim::core::{workload, PramMeshSim, ReadPolicy, SimConfig};
@@ -124,6 +128,20 @@ impl Args {
         prasim::sortnet::set_global_sorter(sorter);
         sorter
     }
+
+    /// Resolves `--ctx` (default: the process default, `reused`) and
+    /// installs it as the process-wide execution-context mode, so every
+    /// simulation either keeps its pooled state warm across steps or
+    /// renews it at each step boundary.
+    fn install_ctx_mode(&self) -> prasim::exec::ExecMode {
+        let mode = match self.flags.get("ctx") {
+            Some(v) => prasim::exec::ExecMode::parse(v)
+                .unwrap_or_else(|| die("--ctx expects fresh|reused")),
+            None => prasim::exec::default_exec_mode(),
+        };
+        prasim::exec::set_global_exec_mode(mode);
+        mode
+    }
 }
 
 fn die(msg: &str) -> ! {
@@ -171,6 +189,7 @@ fn cmd_simulate(args: &Args) -> ExitCode {
         other => die(&format!("unknown policy `{other}` (use freshest|quorum)")),
     };
     let sorter = args.install_sorter();
+    args.install_ctx_mode();
     let config = SimConfig::new(n, memory)
         .with_q(args.get_u64("q", 3))
         .with_k(args.get_u64("k", 2) as u32)
@@ -377,6 +396,7 @@ fn cmd_route(args: &Args) -> ExitCode {
     };
     args.install_threads();
     args.install_sorter();
+    args.install_ctx_mode();
     let l1 = args.get_u64("l1", 1);
     let seed = args.get_u64("seed", 7);
     let inst = RoutingInstance::random(shape, l1, seed);

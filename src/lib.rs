@@ -9,6 +9,8 @@
 //! - [`mesh`]: the mesh-connected computer (topology, packet engine,
 //!   tessellations).
 //! - [`sortnet`]: deterministic mesh sorting and ranking.
+//! - [`exec`]: the shared execution context (persistent worker pool,
+//!   engine pool, sorter resources, unified cost ledger).
 //! - [`routing`]: `(l1,l2)`- and `(l1,l2,δ,m)`-routing.
 //! - [`hmos`]: the Hierarchical Memory Organization Scheme.
 //! - [`fault`]: deterministic fault injection and the PRAM-consistency
@@ -18,6 +20,7 @@
 
 pub use prasim_bibd as bibd;
 pub use prasim_core as core;
+pub use prasim_exec as exec;
 pub use prasim_fault as fault;
 pub use prasim_gf as gf;
 pub use prasim_hmos as hmos;
