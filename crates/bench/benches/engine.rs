@@ -6,8 +6,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use prasim_mesh::engine::{Engine, Packet};
+use prasim_mesh::reference::ReferenceEngine;
 use prasim_mesh::region::Rect;
-use prasim_mesh::topology::MeshShape;
+use prasim_mesh::topology::{Coord, MeshShape};
 use prasim_routing::problem::SplitMix64;
 
 /// A mesh saturated with `per_node` random-destination packets at every
@@ -68,5 +69,81 @@ fn bench_sequential_small(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_thread_sweep, bench_sequential_small);
+/// The T16/T19 workload as a reusable injection list.
+fn step_workload(shape: MeshShape, per_node: u64) -> Vec<(Coord, Packet)> {
+    let bounds = Rect::full(shape);
+    let mut rng = SplitMix64(0xC0FFEE ^ shape.nodes());
+    let mut out = Vec::new();
+    let mut id = 0u64;
+    for node in 0..shape.nodes() as u32 {
+        let src = shape.coord(node);
+        for _ in 0..per_node {
+            let dest = shape.coord((rng.next_u64() % shape.nodes()) as u32);
+            out.push((
+                src,
+                Packet {
+                    id,
+                    dest,
+                    bounds,
+                    tag: id,
+                },
+            ));
+            id += 1;
+        }
+    }
+    out
+}
+
+/// Warm step throughput: one engine reused across iterations (reset,
+/// inject, run, drain in place), so the measurement sees the arena
+/// engine's steady state — zero allocation — rather than cold buffer
+/// growth. The `reference` entries run the frozen pre-arena engine on
+/// the identical workload; their ratio is the struct-of-arrays speedup
+/// that `BENCH_engine.json` records.
+fn bench_engine_step(c: &mut Criterion) {
+    let shape = MeshShape::square_of(4096).unwrap();
+    let w = step_workload(shape, 8);
+    let mut g = c.benchmark_group("engine_step/n4096");
+    g.sample_size(10);
+    for threads in [1usize, 8] {
+        let mut engine = Engine::new(shape).with_threads(threads);
+        // Warmup sizes every buffer before the first sample.
+        for &(src, pkt) in &w {
+            engine.inject(src, pkt);
+        }
+        engine.run(100_000_000).unwrap();
+        g.bench_function(format!("arena_t{threads}"), |b| {
+            b.iter(|| {
+                engine.reset();
+                for &(src, pkt) in &w {
+                    engine.inject(src, pkt);
+                }
+                let steps = engine.run(100_000_000).unwrap().steps;
+                black_box(engine.drain_delivered().count());
+                steps
+            })
+        });
+    }
+    g.bench_function("reference_t1", |b| {
+        b.iter_batched(
+            || {
+                let mut e = ReferenceEngine::new(shape);
+                for &(src, pkt) in &w {
+                    e.inject(src, pkt);
+                }
+                e
+            },
+            |mut e| black_box(e.run(100_000_000).unwrap().steps),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_thread_sweep,
+    bench_sequential_small,
+    bench_engine_step
+);
 criterion_main!(benches);

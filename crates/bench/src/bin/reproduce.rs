@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (T1–T18) of EXPERIMENTS.md.
+//! Regenerates every experiment table (T1–T19) of EXPERIMENTS.md.
 //!
 //! ```sh
 //! cargo run --release -p prasim-bench --bin reproduce            # standard sizes
@@ -27,7 +27,8 @@
 //!
 //! Whenever T17 runs, its data is also written to `BENCH_sorters.json`
 //! (machine-readable step counts per sorter per `n`); T18 likewise
-//! writes `BENCH_exec.json` (context-reuse throughput data).
+//! writes `BENCH_exec.json` (context-reuse throughput data) and T19
+//! writes `BENCH_engine.json` (arena-vs-legacy engine step throughput).
 
 use prasim_bench::tables::{self, Table};
 
@@ -173,6 +174,21 @@ fn main() {
         let (table, json) = tables::t18_context_reuse(n, ppn, reps);
         out.push(table);
         std::fs::write("BENCH_exec.json", json).expect("write BENCH_exec.json");
+    }
+    if want("T19") {
+        // Arena vs legacy engine throughput, 16×16 → 128×128 at 1 and 8
+        // threads. Wall-clock columns (steps/s, speedup) vary run to
+        // run; sort/route/delivered/queue are deterministic and the two
+        // engines' stats are asserted equal inside the table builder.
+        let t19_ns: Vec<u64> = if quick {
+            vec![256, 1024, 4096]
+        } else {
+            vec![256, 1024, 4096, 16384]
+        };
+        let reps = if quick { 2 } else { 5 };
+        let (table, json) = tables::t19_engine_throughput(&t19_ns, 16, reps);
+        out.push(table);
+        std::fs::write("BENCH_engine.json", json).expect("write BENCH_engine.json");
     }
 
     println!("# prasim — reproduced results\n");

@@ -96,7 +96,7 @@ fn route_packets(
     }
     let stats = engine.run(max_steps)?;
     let mut per_node: HashMap<u32, u64> = HashMap::new();
-    for (node, pkt) in engine.take_delivered() {
+    for (node, pkt) in engine.drain_delivered() {
         debug_assert_eq!(node, pkts[pkt.tag as usize].1);
         *per_node.entry(node).or_insert(0) += 1;
     }

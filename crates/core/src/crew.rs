@@ -190,7 +190,7 @@ pub fn step_crew(sim: &mut PramMeshSim, step: &PramStep) -> Result<CrewReport, S
     let stats = engine
         .run(sim.config().max_engine_steps)
         .map_err(SimError::Engine)?;
-    for (_node, pkt) in engine.take_delivered() {
+    for (_node, pkt) in engine.drain_delivered() {
         let (proc, value) = payloads[pkt.tag as usize];
         results[proc as usize] = Some(value);
     }

@@ -288,7 +288,7 @@ pub fn access_protocol(
         report.dropped += stats.dropped;
         // Update positions and measure δ_{stage-1}.
         let mut per_node: HashMap<u32, u64> = HashMap::new();
-        for (node, pkt) in engine.take_delivered() {
+        for (node, pkt) in engine.drain_delivered() {
             in_stage[pkt.tag as usize] = false;
             pkts[pkt.tag as usize].cur = node;
             *per_node.entry(node).or_insert(0) += 1;
@@ -343,7 +343,7 @@ pub fn access_protocol(
         report.max_queue = report.max_queue.max(stats.max_queue);
         report.dropped += stats.dropped;
         let mut per_node: HashMap<u32, u64> = HashMap::new();
-        for (node, pkt) in engine.take_delivered() {
+        for (node, pkt) in engine.drain_delivered() {
             in_stage[pkt.tag as usize] = false;
             pkts[pkt.tag as usize].cur = node;
             *per_node.entry(node).or_insert(0) += 1;

@@ -10,6 +10,11 @@
 //! one line per benchmark — good enough to compare orders of magnitude and
 //! keep `cargo bench` runnable, with none of criterion's statistics.
 //!
+//! Like real criterion, `cargo bench -- --test` switches to **test
+//! mode**: every benchmark routine runs exactly once, unmeasured, so CI
+//! can smoke-test that the benches still compile and execute without
+//! paying for timing samples.
+//!
 //! [`criterion`]: https://docs.rs/criterion
 
 use std::time::Instant;
@@ -28,15 +33,28 @@ pub enum BatchSize {
 }
 
 /// Top-level harness handle passed to every benchmark function.
-#[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Reads the harness CLI: `--test` (anywhere in the arguments, as
+    /// `cargo bench -- --test` passes it) selects run-once test mode.
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             _criterion: self,
             name: name.into(),
             sample_size: 10,
+            test_mode,
         }
     }
 }
@@ -46,6 +64,7 @@ pub struct BenchmarkGroup<'c> {
     _criterion: &'c mut Criterion,
     name: String,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -55,12 +74,22 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Runs one benchmark and prints its median sample time.
+    /// Runs one benchmark and prints its median sample time; in
+    /// `--test` mode, runs the routine once and reports success.
     pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
+        if self.test_mode {
+            let mut b = Bencher {
+                elapsed_ns: 0,
+                iters: 0,
+            };
+            f(&mut b);
+            println!("Testing {}/{}: ok", self.name, id);
+            return self;
+        }
         let mut samples: Vec<u128> = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
             let mut b = Bencher {

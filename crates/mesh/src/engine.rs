@@ -1,5 +1,5 @@
 //! Synchronous store-and-forward packet engine, sequential or sharded
-//! across worker threads.
+//! across worker threads, with flat struct-of-arrays storage.
 //!
 //! Models the paper's machine: in each time step every node may send one
 //! packet along each of its (at most four) outgoing links and receive one
@@ -14,6 +14,28 @@
 //! packet id. Queues are unbounded; the maximum observed queue length is
 //! reported in [`EngineStats`] as the buffer-space certificate.
 //!
+//! # Storage: the flat arena layout
+//!
+//! Packet payloads live in one [`PacketArena`] — ids, destinations,
+//! bounds and tags as parallel arrays indexed by a
+//! [`PacketRef`]. The per-node queues are
+//! *windows into one flat slot array per band*: node `i` of a band owns
+//! `buf[heads[i] .. heads[i] + lens[i]]`, where each 12-byte `Slot`
+//! holds the arena index plus the only per-hop mutable state (detour
+//! count, last direction). The slot array is double-buffered: the apply
+//! half-step sizes the shadow buffer to exactly the survivor + arrival
+//! count, copies survivors node by node and scatters arrivals behind
+//! them, then flips `cur`. Every buffer — slot arrays, handoff queues,
+//! staging, removal scratch, the delivered list — is owned by the engine
+//! and cleared (never dropped) between steps and runs, so after warmup
+//! the step loop performs **zero heap allocation**; the
+//! `alloc_regression` integration test enforces this with a counting
+//! global allocator.
+//!
+//! [`Packet`] remains the public boundary type: callers inject and drain
+//! whole packets; [`Engine::drain_delivered`] materializes them from the
+//! arena on the way out without cloning anything heap-allocated.
+//!
 //! # Sharded parallel execution
 //!
 //! The machine is synchronous, so one step is an embarrassingly parallel
@@ -23,25 +45,34 @@
 //! barrier-separated half-steps:
 //!
 //! 1. **compute** — every band picks its winners (farthest-first link
-//!    arbitration), removes them from its own queues and appends the
-//!    resulting moves, in source-node order, to one handoff queue per
+//!    arbitration), removes them from its own queue windows and appends
+//!    the resulting moves, in source-node order, to one handoff slot per
 //!    *destination* band;
-//! 2. **apply** — after a barrier, every band drains the handoff queues
-//!    addressed to it *in fixed source-band order* and appends the
-//!    arrivals to its nodes' queues, then absorbs packets that reached
-//!    their destination.
+//! 2. **apply** — after a barrier, every band drains the handoff slots
+//!    addressed to it *in fixed source-band order* into its staging
+//!    buffer, rebuilds its shadow slot array (survivors then arrivals),
+//!    then absorbs packets that reached their destination.
+//!
+//! The handoff slots are engine-persistent `bands × bands` ring
+//! positions; publishing and draining swap `Vec`s, so capacity
+//! ping-pongs between a band's out-buffers and the ring instead of being
+//! reallocated per step (the pre-arena engine allocated a
+//! `Vec<Mutex<BandMoves>>` per run and fresh move vectors per step).
 //!
 //! Because bands are contiguous ascending row ranges, concatenating the
 //! handoff queues in source-band order reproduces exactly the ascending
 //! global node scan of the sequential engine, so every per-node queue —
 //! and therefore every subsequent arbitration decision, fault drop,
-//! detour, trace count and the [`Engine::take_delivered`] order — is
+//! detour, trace count and the [`Engine::drain_delivered`] order — is
 //! **byte-identical for every thread count**. Both paths run the same
-//! per-band code (`compute_band`/`absorb_band`); the sequential
-//! engine is simply the one-band instance. The property is enforced by
-//! the `parallel_equivalence` proptest suite and by the CI determinism
+//! per-band code (`compute_lane`/`apply_lane`/`absorb_lane`); the
+//! sequential engine is simply the one-band instance. The property is
+//! enforced by the `parallel_equivalence` proptest suite, by the
+//! `arena_engine_matches_reference` diff against the frozen
+//! [`crate::reference::ReferenceEngine`], and by the CI determinism
 //! matrix, which diffs whole reproduce tables across `--threads 1/2/8`.
 
+use crate::arena::{PacketArena, PacketRef};
 use crate::fault::FaultMask;
 use crate::pool::WorkerPool;
 use crate::region::Rect;
@@ -140,18 +171,50 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
-/// A resident packet plus its fault-detour bookkeeping.
+/// `Slot::last_dir` value meaning "no previous hop".
+const NO_DIR: u8 = 4;
+
+/// One queue entry: the arena index of the packet, a cached copy of its
+/// (immutable) destination, and the only per-hop mutable flight state
+/// (fault-detour bookkeeping). The destination is duplicated out of the
+/// arena because both hot scans — arbitration and absorption — need it
+/// for every resident packet every step; reading it from the slot keeps
+/// those scans streaming over one dense array instead of gathering from
+/// the arena's destination column at random. Keeping the mutable state
+/// in the slot — it moves *with* the packet between buffers and bands —
+/// means no band ever writes to a shared arena row, so the parallel step
+/// needs no synchronization beyond the handoff swap.
 #[derive(Debug, Clone, Copy)]
-struct Flight {
-    pkt: Packet,
+struct Slot {
+    /// Arena index ([`PacketRef`] payload).
+    pkt: u32,
+    /// Cached `arena.dest(pkt)`.
+    dest: Coord,
     /// Non-improving hops taken so far to get around faults.
     detours: u32,
-    /// Once `detours` reaches this, the packet may only make progress;
-    /// if it cannot, it is dropped.
-    budget: u32,
-    /// Direction of the previous hop; detours avoid immediately undoing
-    /// it, which would otherwise oscillate in front of a blocked wall.
-    last_dir: Option<Dir>,
+    /// Direction index of the previous hop ([`NO_DIR`] = none); detours
+    /// avoid immediately undoing it, which would otherwise oscillate in
+    /// front of a blocked wall.
+    last_dir: u8,
+}
+
+/// Filler for freshly sized shadow-buffer positions; every live position
+/// is overwritten before it is read.
+const DUMMY_SLOT: Slot = Slot {
+    pkt: u32::MAX,
+    dest: Coord { r: 0, c: 0 },
+    detours: 0,
+    last_dir: NO_DIR,
+};
+
+/// Removal action: this packet is stuck and dies here.
+const ACT_STUCK: u8 = u8::MAX;
+
+/// Encodes a move action (direction + detour flag) into the removal
+/// scratch; [`ACT_STUCK`] is disjoint because direction indices are < 4.
+#[inline]
+fn act_move(dir: Dir, detour: bool) -> u8 {
+    (dir.index() as u8) << 1 | detour as u8
 }
 
 /// Immutable inputs of one synchronous step, shared by the sequential
@@ -185,15 +248,19 @@ impl StepCtx<'_> {
     /// whether that hop is a detour (does not reduce the distance to the
     /// destination). `None` means the packet is stuck and must be
     /// dropped. Without faults this is exactly greedy XY.
-    fn choose_dir(&self, here: Coord, fl: &Flight) -> Option<(Dir, bool)> {
-        let greedy = Self::next_dir(here, fl.pkt.dest)
+    fn choose_dir(&self, here: Coord, arena: &PacketArena, s: Slot) -> Option<(Dir, bool)> {
+        let r = PacketRef(s.pkt);
+        let dest = s.dest;
+        let greedy = Self::next_dir(here, dest)
             .expect("resident packet at destination should have been absorbed");
         let mask = match self.faults {
             Some(m) if !m.is_empty() => m,
             _ => return Some((greedy, false)),
         };
         let idx = self.shape.index(here);
-        let dist = here.manhattan(fl.pkt.dest);
+        let dist = here.manhattan(dest);
+        let bounds = arena.bounds(r);
+        let budget = arena.budget(r);
         // Candidates in deterministic preference order: the greedy XY
         // direction, then any other improving direction, then the rest.
         let mut order: [Option<Dir>; 4] = [Some(greedy), None, None, None];
@@ -206,7 +273,7 @@ impl StepCtx<'_> {
                 let improves = self
                     .shape
                     .step(here, d)
-                    .is_some_and(|c| c.manhattan(fl.pkt.dest) < dist);
+                    .is_some_and(|c| c.manhattan(dest) < dist);
                 if improves == improving_pass {
                     order[n] = Some(d);
                     n += 1;
@@ -215,7 +282,7 @@ impl StepCtx<'_> {
         }
         let usable = |dir: Dir| -> Option<(Dir, bool)> {
             let next = self.shape.step(here, dir)?;
-            if !fl.pkt.bounds.contains(next) {
+            if !bounds.contains(next) {
                 return None;
             }
             if mask.link_severed(idx, dir) {
@@ -223,11 +290,11 @@ impl StepCtx<'_> {
             }
             // Never enter a dead node — except the destination itself,
             // where the packet is then dropped on arrival.
-            if mask.node_dead(self.shape.index(next)) && next != fl.pkt.dest {
+            if mask.node_dead(self.shape.index(next)) && next != dest {
                 return None;
             }
-            let improves = next.manhattan(fl.pkt.dest) < dist;
-            if !improves && fl.detours >= fl.budget {
+            let improves = next.manhattan(dest) < dist;
+            if !improves && s.detours >= budget {
                 return None;
             }
             Some((dir, !improves))
@@ -235,7 +302,7 @@ impl StepCtx<'_> {
         // Refusing to undo the previous hop keeps detours walking along a
         // blocked wall instead of bouncing in place; reversal stays
         // available as a dead-end escape of last resort.
-        let reverse = fl.last_dir.map(Dir::opposite);
+        let reverse = (s.last_dir != NO_DIR).then(|| Dir::ALL[s.last_dir as usize].opposite());
         if let Some(choice) = order
             .into_iter()
             .flatten()
@@ -248,140 +315,272 @@ impl StepCtx<'_> {
     }
 }
 
-/// Packet moves leaving one band, keyed by destination band, each queue
-/// in source-node order.
-type BandMoves = Vec<Vec<(u32, Flight)>>;
-
-/// One band's per-step output: outgoing moves keyed by destination band
-/// plus the stats deltas the coordinator folds into [`EngineStats`].
-#[derive(Default)]
-struct BandScratch {
-    /// Packet moves per destination band, each in source-node order.
-    moves: BandMoves,
-    hops: u64,
-    dropped: u64,
-    delivered: Vec<(u32, Packet)>,
-    max_queue: usize,
+/// One band's queues and step scratch: the double-buffered flat slot
+/// array with per-node `(head, len)` windows, plus every per-step buffer
+/// the band needs — all engine-persistent, all cleared rather than
+/// dropped, so a warm step allocates nothing.
+#[derive(Debug, Default)]
+struct Lane {
+    /// First global node index of the band.
+    node0: u32,
+    /// Double-buffered slot storage; `cur` indexes the live half.
+    /// Invariant outside the apply half-step: the live half holds node
+    /// `i`'s queue at `heads[i] .. heads[i] + lens[i]`, windows disjoint
+    /// and ascending; the shadow half is dead storage whose capacity is
+    /// reused by the next apply.
+    buf: [Vec<Slot>; 2],
+    cur: usize,
+    /// Per-local-node window starts into the live buffer.
+    heads: Vec<u32>,
+    /// Per-local-node window lengths (shrink during compute/absorb).
+    lens: Vec<u32>,
+    /// Outgoing moves per destination band (swapped into the handoff).
+    out: Vec<Vec<(u32, Slot)>>,
+    /// Incoming moves gathered from the handoff in source-band order.
+    staging: Vec<(u32, Slot)>,
+    /// Apply scratch: per-local-node arrival counts.
+    arrivals: Vec<u32>,
+    /// Apply scratch: per-local-node write cursors into the shadow half.
+    cursors: Vec<u32>,
+    /// Compute scratch: queue positions to remove, with their action.
+    removals: Vec<(u32, u8)>,
+    /// This step's deliveries `(node, arena index)`, swapped out to the
+    /// coordinator each step.
+    delivered: Vec<(u32, u32)>,
 }
 
-impl BandScratch {
-    fn with_bands(bands: usize) -> Self {
-        BandScratch {
-            moves: (0..bands).map(|_| Vec::new()).collect(),
-            ..BandScratch::default()
-        }
-    }
+/// One band's per-step counters, published to the coordinator; the
+/// delivered buffer is exchanged by `Vec` swap so neither side
+/// reallocates it.
+#[derive(Debug, Default)]
+struct StepOut {
+    hops: u64,
+    dropped: u64,
+    max_queue: usize,
+    delivered: Vec<(u32, u32)>,
 }
 
 /// One band's compute half-step: per node (ascending), pick the
-/// farthest-first winner of each outgoing link, remove winners and stuck
-/// packets from the band's queues, and append the moves — in source-node
-/// order — to `out.moves[destination band]`. Only this band's queues and
-/// trace slice are touched, so bands run concurrently; the outcome is
-/// independent of how rows are banded.
-fn compute_band(
+/// farthest-first winner of each outgoing link, shrink the node's queue
+/// window past winners and stuck packets, and append the moves — in
+/// source-node order — to `lane.out[destination band]`. Only this band's
+/// windows and trace slice are touched, so bands run concurrently; the
+/// outcome is independent of how rows are banded. Returns `(hops,
+/// dropped)`.
+fn compute_lane(
     ctx: &StepCtx<'_>,
-    queues: &mut [Vec<Flight>],
-    node0: u32,
+    arena: &PacketArena,
+    lane: &mut Lane,
     mut trace: Option<&mut [[u64; 4]]>,
-    band_of: impl Fn(u32) -> usize,
-    out: &mut BandScratch,
-) {
-    for (local, queue) in queues.iter_mut().enumerate() {
-        if queue.is_empty() {
+    band_of: &dyn Fn(u32) -> usize,
+) -> (u64, u64) {
+    let Lane {
+        node0,
+        buf,
+        cur,
+        heads,
+        lens,
+        out,
+        removals,
+        ..
+    } = lane;
+    let buf = &mut buf[*cur];
+    let no_faults = ctx.faults.is_none_or(FaultMask::is_empty);
+    let mut hops = 0u64;
+    let mut dropped = 0u64;
+    for local in 0..lens.len() {
+        let len = lens[local] as usize;
+        if len == 0 {
             continue;
         }
-        let idx = node0 + local as u32;
+        let head = heads[local] as usize;
+        let idx = *node0 + local as u32;
         let here = ctx.shape.coord(idx);
         // Pick, per direction, the farthest-first packet.
-        let mut best: [Option<(u32, u64, usize, bool)>; 4] = [None; 4]; // (dist, id, pos, detour)
-        let mut stuck: Vec<usize> = Vec::new();
-        for (pos, fl) in queue.iter().enumerate() {
-            match ctx.choose_dir(here, fl) {
-                Some((dir, detour)) => {
-                    let d = dir.index();
-                    let dist = here.manhattan(fl.pkt.dest);
-                    let better = match best[d] {
-                        None => true,
-                        Some((bd, bid, _, _)) => dist > bd || (dist == bd && fl.pkt.id < bid),
-                    };
-                    if better {
-                        best[d] = Some((dist, fl.pkt.id, pos, detour));
+        let mut best: [Option<(u32, u64, u32, bool)>; 4] = [None; 4]; // (dist, id, pos, detour)
+        removals.clear();
+        let q = &buf[head..head + len];
+        if no_faults {
+            // Fault-free fast path: the chosen direction is exactly
+            // greedy XY on the slot-cached destination, nothing is ever
+            // stuck, and the tie-breaking id is only gathered from the
+            // arena when a candidate actually ties on distance.
+            for (pos, s) in q.iter().enumerate() {
+                let dir = StepCtx::next_dir(here, s.dest)
+                    .expect("resident packet at destination should have been absorbed");
+                let d = dir.index();
+                let dist = here.manhattan(s.dest);
+                let better = match best[d] {
+                    None => true,
+                    Some((bd, bid, _, _)) => {
+                        dist > bd || (dist == bd && arena.id(PacketRef(s.pkt)) < bid)
                     }
+                };
+                if better {
+                    best[d] = Some((dist, arena.id(PacketRef(s.pkt)), pos as u32, false));
                 }
-                None => stuck.push(pos),
+            }
+        } else {
+            for (pos, s) in q.iter().enumerate() {
+                match ctx.choose_dir(here, arena, *s) {
+                    Some((dir, detour)) => {
+                        let d = dir.index();
+                        let dist = here.manhattan(s.dest);
+                        let id = arena.id(PacketRef(s.pkt));
+                        let better = match best[d] {
+                            None => true,
+                            Some((bd, bid, _, _)) => dist > bd || (dist == bd && id < bid),
+                        };
+                        if better {
+                            best[d] = Some((dist, id, pos as u32, detour));
+                        }
+                    }
+                    None => removals.push((pos as u32, ACT_STUCK)),
+                }
             }
         }
         // Remove stuck packets and winners in descending position
         // order to keep indices valid, then record the moves.
-        let mut removals: Vec<(usize, Option<(Dir, bool)>)> =
-            stuck.into_iter().map(|p| (p, None)).collect();
         for (d, slot) in best.iter().enumerate() {
             if let Some((_, _, pos, detour)) = *slot {
-                removals.push((pos, Some((Dir::ALL[d], detour))));
+                removals.push((pos, act_move(Dir::ALL[d], detour)));
             }
         }
         removals.sort_unstable_by_key(|r| std::cmp::Reverse(r.0));
-        for (pos, action) in removals {
-            let mut fl = queue.swap_remove(pos);
-            let Some((dir, detour)) = action else {
+        let mut qlen = len;
+        for &(pos, action) in removals.iter() {
+            let mut s = buf[head + pos as usize];
+            qlen -= 1;
+            buf[head + pos as usize] = buf[head + qlen];
+            if action == ACT_STUCK {
                 // Every usable link is gone: the packet dies here.
-                out.dropped += 1;
+                dropped += 1;
                 continue;
-            };
+            }
+            let (dir, detour) = (Dir::ALL[(action >> 1) as usize], action & 1 == 1);
             if let Some(counts) = trace.as_deref_mut() {
                 counts[local][dir.index()] += 1;
             }
-            out.hops += 1;
-            let lost = ctx
-                .faults
-                .is_some_and(|m| m.traversal_lost(ctx.step, idx, dir, fl.pkt.id));
+            hops += 1;
+            let lost = !no_faults
+                && ctx.faults.is_some_and(|m| {
+                    m.traversal_lost(ctx.step, idx, dir, arena.id(PacketRef(s.pkt)))
+                });
             if lost {
-                out.dropped += 1;
+                dropped += 1;
                 continue;
             }
             if detour {
-                fl.detours += 1;
+                s.detours += 1;
             }
-            fl.last_dir = Some(dir);
+            s.last_dir = dir.index() as u8;
             let next = ctx
                 .shape
                 .step(here, dir)
                 .expect("XY routing within bounds cannot leave the mesh");
-            debug_assert!(fl.pkt.bounds.contains(next), "packet left its bounds");
+            debug_assert!(
+                arena.bounds(PacketRef(s.pkt)).contains(next),
+                "packet left its bounds"
+            );
             let next_idx = ctx.shape.index(next);
-            out.moves[band_of(next_idx)].push((next_idx, fl));
+            out[band_of(next_idx)].push((next_idx, s));
         }
+        lens[local] = qlen as u32;
     }
+    (hops, dropped)
+}
+
+/// One band's apply half-step: size the shadow buffer to exactly the
+/// survivor + arrival count, copy each node's surviving window, scatter
+/// the staged arrivals (already in global source order) behind the
+/// survivors they join, and flip the live buffer. Returns the band's
+/// largest queue — measured, as in the pre-arena engine, after arrivals
+/// land and before absorption.
+fn apply_lane(lane: &mut Lane) -> usize {
+    let Lane {
+        node0,
+        buf,
+        cur,
+        heads,
+        lens,
+        staging,
+        arrivals,
+        cursors,
+        ..
+    } = lane;
+    arrivals.fill(0);
+    for &(node, _) in staging.iter() {
+        arrivals[(node - *node0) as usize] += 1;
+    }
+    let survivors: usize = lens.iter().map(|&l| l as usize).sum();
+    let total = survivors + staging.len();
+    let [a, b] = buf;
+    let (src, dst): (&[Slot], &mut Vec<Slot>) = if *cur == 0 { (a, b) } else { (b, a) };
+    dst.resize(total, DUMMY_SLOT);
+    let mut off: u32 = 0;
+    let mut max_queue = 0usize;
+    for local in 0..heads.len() {
+        let h = heads[local] as usize;
+        let l = lens[local] as usize;
+        dst[off as usize..off as usize + l].copy_from_slice(&src[h..h + l]);
+        heads[local] = off;
+        cursors[local] = off + l as u32;
+        lens[local] = (l + arrivals[local] as usize) as u32;
+        off += lens[local];
+        max_queue = max_queue.max(lens[local] as usize);
+    }
+    for &(node, s) in staging.iter() {
+        let local = (node - *node0) as usize;
+        dst[cursors[local] as usize] = s;
+        cursors[local] += 1;
+    }
+    *cur = 1 - *cur;
+    max_queue
 }
 
 /// Absorbs every packet of the band that sits at its destination (and
-/// drops anything resident on a dead node), appending to `out.delivered`
-/// and `out.dropped` in node order.
-fn absorb_band(
-    shape: MeshShape,
-    faults: Option<&FaultMask>,
-    queues: &mut [Vec<Flight>],
-    node0: u32,
-    out: &mut BandScratch,
-) {
-    for (local, queue) in queues.iter_mut().enumerate() {
-        let idx = node0 + local as u32;
+/// drops anything resident on a dead node), appending `(node, arena
+/// index)` pairs to `lane.delivered` in node order. Returns the dead-node
+/// drop count.
+fn absorb_lane(shape: MeshShape, faults: Option<&FaultMask>, lane: &mut Lane) -> u64 {
+    let Lane {
+        node0,
+        buf,
+        cur,
+        heads,
+        lens,
+        delivered,
+        ..
+    } = lane;
+    let buf = &mut buf[*cur];
+    let mut dropped = 0u64;
+    for local in 0..lens.len() {
+        let mut len = lens[local] as usize;
+        if len == 0 {
+            continue;
+        }
+        let head = heads[local] as usize;
+        let idx = *node0 + local as u32;
         let here = shape.coord(idx);
         let dead_here = faults.is_some_and(|m| m.node_dead(idx));
         let mut i = 0;
-        while i < queue.len() {
+        while i < len {
             if dead_here {
-                queue.swap_remove(i);
-                out.dropped += 1;
-            } else if queue[i].pkt.dest == here {
-                let fl = queue.swap_remove(i);
-                out.delivered.push((idx, fl.pkt));
+                len -= 1;
+                buf[head + i] = buf[head + len];
+                dropped += 1;
+            } else if buf[head + i].dest == here {
+                let s = buf[head + i];
+                len -= 1;
+                buf[head + i] = buf[head + len];
+                delivered.push((idx, s.pkt));
             } else {
                 i += 1;
             }
         }
+        lens[local] = len as u32;
     }
+    dropped
 }
 
 /// The packet engine. Inject packets, then [`Engine::run`]; delivered
@@ -389,10 +588,33 @@ fn absorb_band(
 #[derive(Debug)]
 pub struct Engine {
     shape: MeshShape,
-    /// Per-node resident packets (waiting to move or to be consumed).
-    resident: Vec<Vec<Flight>>,
-    /// Delivered packets with their destination node index.
-    delivered: Vec<(u32, Packet)>,
+    /// Struct-of-arrays store of every injected packet.
+    arena: PacketArena,
+    /// Packets injected since the last run: `(node, slot)` in injection
+    /// order, laid into the band lanes at the next run start.
+    pending: Vec<(u32, Slot)>,
+    /// Per-band queue storage and step scratch.
+    lanes: Vec<Lane>,
+    /// Band count the lanes/handoff are currently laid out for.
+    bands: usize,
+    /// Layout scratch: per-node resident counts.
+    counts: Vec<u32>,
+    /// Layout scratch: residents regathered in global node order when
+    /// the band count changes or a run left packets in flight.
+    gather: Vec<(u32, Slot)>,
+    /// First node index of each band (`bands + 1` entries).
+    node_starts: Vec<u32>,
+    /// Band owning each mesh row.
+    row_band: Vec<usize>,
+    /// Persistent handoff ring: slot `src * bands + dst` carries the
+    /// moves leaving band `src` for band `dst` this step, in source-node
+    /// order. Locks are uncontended: `src` fills during compute, `dst`
+    /// drains after the worker barrier.
+    handoff: Vec<Mutex<Vec<(u32, Slot)>>>,
+    /// Per-band step results for the coordinator fold.
+    step_out: Vec<Mutex<StepOut>>,
+    /// Delivered packets as `(destination node, arena index)`.
+    delivered: Vec<(u32, u32)>,
     in_flight: u64,
     stats: EngineStats,
     /// Optional per-link traversal recording (see [`crate::trace`]).
@@ -413,10 +635,19 @@ impl Engine {
     /// worker-thread count ([`default_threads`]).
     pub fn new(shape: MeshShape) -> Self {
         Engine {
-            resident: vec![Vec::new(); shape.nodes() as usize],
+            shape,
+            arena: PacketArena::new(),
+            pending: Vec::new(),
+            lanes: Vec::new(),
+            bands: 0,
+            counts: Vec::new(),
+            gather: Vec::new(),
+            node_starts: Vec::new(),
+            row_band: Vec::new(),
+            handoff: Vec::new(),
+            step_out: Vec::new(),
             delivered: Vec::new(),
             in_flight: 0,
-            shape,
             stats: EngineStats::default(),
             trace: None,
             faults: None,
@@ -426,13 +657,22 @@ impl Engine {
     }
 
     /// Returns the engine to its post-[`Engine::new`] state while keeping
-    /// every allocation (per-node queue capacity in particular), so a
+    /// every allocation (arena columns, lane buffers, handoff ring), so a
     /// pooled engine can be reused across protocol stages without paying
     /// the buffer build again. Threads keep their configured value;
     /// trace, faults, stats, queues and delivered packets are cleared.
     pub fn reset(&mut self) {
-        for q in &mut self.resident {
-            q.clear();
+        self.arena.clear();
+        self.pending.clear();
+        self.gather.clear();
+        for lane in &mut self.lanes {
+            lane.heads.fill(0);
+            lane.lens.fill(0);
+            lane.staging.clear();
+            lane.delivered.clear();
+            for o in &mut lane.out {
+                o.clear();
+            }
         }
         self.delivered.clear();
         self.in_flight = 0;
@@ -510,6 +750,21 @@ impl Engine {
         self.shape
     }
 
+    /// The packet arena (read-only; tags and destinations of everything
+    /// injected since the last reset).
+    #[inline]
+    pub fn arena(&self) -> &PacketArena {
+        &self.arena
+    }
+
+    /// Pre-sizes the arena and injection staging for `additional` more
+    /// packets, so bulk injection loops grow buffers once instead of
+    /// amortizing.
+    pub fn reserve(&mut self, additional: usize) {
+        self.arena.reserve(additional);
+        self.pending.reserve(additional);
+    }
+
     /// Places a packet at `src`. Both `src` and the packet destination
     /// must lie inside the packet's bounds. With a fault mask installed,
     /// packets originating at or addressed to dead nodes are dropped on
@@ -527,13 +782,17 @@ impl Engine {
         // perimeter — enough to round any blocked region, small enough to
         // guarantee termination.
         let budget = 2 * (pkt.bounds.rows + pkt.bounds.cols) + 8;
+        let r = self.arena.push(&pkt, budget);
         self.in_flight += 1;
-        self.resident[self.shape.index(src) as usize].push(Flight {
-            pkt,
-            detours: 0,
-            budget,
-            last_dir: None,
-        });
+        self.pending.push((
+            self.shape.index(src),
+            Slot {
+                pkt: r.0,
+                dest: pkt.dest,
+                detours: 0,
+                last_dir: NO_DIR,
+            },
+        ));
     }
 
     /// Packets not yet delivered.
@@ -545,12 +804,13 @@ impl Engine {
     /// Runs until every packet is delivered or the budget is exhausted.
     /// Returns the stats accumulated by this run (also kept in
     /// [`Engine::stats`]). With more than one configured thread the rows
-    /// are sharded across a scoped worker pool; the outcome is
+    /// are sharded across a persistent worker pool; the outcome is
     /// byte-identical either way.
     pub fn run(&mut self, max_steps: u64) -> Result<EngineStats, EngineError> {
+        let bands = self.threads.max(1).min(self.shape.rows as usize).max(1);
+        self.layout(bands);
         // Deliver packets already at their destination (zero-distance).
-        self.absorb_arrivals();
-        let bands = self.threads.max(1).min(self.shape.rows as usize);
+        self.absorb_start();
         if bands <= 1 || self.in_flight == 0 {
             while self.in_flight > 0 {
                 if self.stats.steps >= max_steps {
@@ -572,32 +832,140 @@ impl Engine {
         self.stats
     }
 
+    /// Drains the delivered packets in delivery order, materializing each
+    /// `(destination node, packet)` pair from the arena on the fly — no
+    /// clone, no allocation (the backing buffer keeps its capacity for
+    /// the next run). Prefer this over [`Engine::take_delivered`] in hot
+    /// paths.
+    pub fn drain_delivered(&mut self) -> impl Iterator<Item = (u32, Packet)> + '_ {
+        let Engine {
+            arena, delivered, ..
+        } = self;
+        delivered
+            .drain(..)
+            .map(move |(node, pkt)| (node, arena.packet(PacketRef(pkt))))
+    }
+
     /// Drains and returns the delivered packets (destination node index,
-    /// packet).
+    /// packet) as a fresh vector. Convenience wrapper over
+    /// [`Engine::drain_delivered`].
     pub fn take_delivered(&mut self) -> Vec<(u32, Packet)> {
-        std::mem::take(&mut self.delivered)
+        self.drain_delivered().collect()
     }
 
-    /// Sequential absorb over the whole mesh (run start and the
-    /// single-band step loop).
-    fn absorb_arrivals(&mut self) {
-        let mut out = BandScratch::default();
-        absorb_band(
-            self.shape,
-            self.faults.as_ref(),
-            &mut self.resident,
-            0,
-            &mut out,
-        );
-        self.fold_absorbed(out);
+    /// Lays the resident and pending packets out into `bands` lanes:
+    /// regathers whatever a previous run left in flight (in global node
+    /// order), counts per-node totals, sizes each lane's windows by
+    /// prefix sums and scatters residents-then-pending so each node's
+    /// queue is exactly what the pre-arena engine's push order produced.
+    /// All scratch is persistent; with an unchanged band count a warm
+    /// layout allocates nothing.
+    fn layout(&mut self, bands: usize) {
+        // Regather residents in ascending global node order.
+        self.gather.clear();
+        for lane in &self.lanes {
+            let buf = &lane.buf[lane.cur];
+            for local in 0..lane.lens.len() {
+                let l = lane.lens[local] as usize;
+                if l == 0 {
+                    continue;
+                }
+                let h = lane.heads[local] as usize;
+                let node = lane.node0 + local as u32;
+                for s in &buf[h..h + l] {
+                    self.gather.push((node, *s));
+                }
+            }
+        }
+        let nodes = self.shape.nodes() as usize;
+        self.counts.resize(nodes, 0);
+        self.counts.fill(0);
+        for &(node, _) in &self.gather {
+            self.counts[node as usize] += 1;
+        }
+        for &(node, _) in &self.pending {
+            self.counts[node as usize] += 1;
+        }
+        // Contiguous near-equal row bands: band b owns rows
+        // [b·rows/B, (b+1)·rows/B), hence a contiguous node range.
+        let rows = self.shape.rows as usize;
+        let cols = self.shape.cols;
+        let row_start = |b: usize| b * rows / bands;
+        self.node_starts.clear();
+        self.node_starts
+            .extend((0..=bands).map(|b| row_start(b) as u32 * cols));
+        self.row_band.resize(rows, 0);
+        for b in 0..bands {
+            self.row_band[row_start(b)..row_start(b + 1)].fill(b);
+        }
+        if self.lanes.len() != bands {
+            self.lanes.resize_with(bands, Lane::default);
+        }
+        for b in 0..bands {
+            let lane = &mut self.lanes[b];
+            let node0 = self.node_starts[b];
+            let n = (self.node_starts[b + 1] - node0) as usize;
+            lane.node0 = node0;
+            lane.heads.resize(n, 0);
+            lane.lens.resize(n, 0);
+            lane.cursors.resize(n, 0);
+            lane.arrivals.resize(n, 0);
+            if lane.out.len() != bands {
+                lane.out.resize_with(bands, Vec::new);
+                lane.out.truncate(bands);
+            }
+            lane.staging.clear();
+            lane.delivered.clear();
+            let mut off = 0u32;
+            for local in 0..n {
+                let cnt = self.counts[(node0 + local as u32) as usize];
+                lane.heads[local] = off;
+                lane.cursors[local] = off;
+                lane.lens[local] = cnt;
+                off += cnt;
+            }
+            lane.cur = 0;
+            lane.buf[0].resize(off as usize, DUMMY_SLOT);
+        }
+        // Scatter: previous residents first (global node order), then
+        // the newly injected packets in injection order — exactly the
+        // per-node push order of the pre-arena engine.
+        for stage in [&self.gather, &self.pending] {
+            for &(node, s) in stage {
+                let b = self.row_band[(node / cols) as usize];
+                let lane = &mut self.lanes[b];
+                let local = (node - lane.node0) as usize;
+                lane.buf[0][lane.cursors[local] as usize] = s;
+                lane.cursors[local] += 1;
+            }
+        }
+        self.gather.clear();
+        self.pending.clear();
+        if self.bands != bands {
+            self.handoff = (0..bands * bands).map(|_| Mutex::new(Vec::new())).collect();
+            self.step_out = (0..bands).map(|_| Mutex::new(StepOut::default())).collect();
+            self.bands = bands;
+        }
     }
 
-    /// Folds one band's drop/delivery deltas into the engine counters.
-    fn fold_absorbed(&mut self, mut out: BandScratch) {
-        self.in_flight -= out.dropped + out.delivered.len() as u64;
-        self.stats.dropped += out.dropped;
-        self.stats.delivered += out.delivered.len() as u64;
-        self.delivered.append(&mut out.delivered);
+    /// Run-start absorption across all lanes in band (= node) order.
+    fn absorb_start(&mut self) {
+        let Engine {
+            shape,
+            faults,
+            lanes,
+            delivered,
+            in_flight,
+            stats,
+            ..
+        } = self;
+        for lane in lanes.iter_mut() {
+            let dropped = absorb_lane(*shape, faults.as_ref(), lane);
+            stats.dropped += dropped;
+            stats.delivered += lane.delivered.len() as u64;
+            *in_flight -= dropped + lane.delivered.len() as u64;
+            delivered.append(&mut lane.delivered);
+        }
     }
 
     /// One sequential synchronous step: the one-band instance of the
@@ -608,63 +976,53 @@ impl Engine {
             faults: self.faults.as_ref(),
             step: self.stats.steps,
         };
-        let mut out = BandScratch::with_bands(1);
-        compute_band(
+        let lane = &mut self.lanes[0];
+        let (hops, dropped) = compute_lane(
             &ctx,
-            &mut self.resident,
-            0,
+            &self.arena,
+            lane,
             self.trace.as_mut().map(LinkTrace::counts_mut),
-            |_| 0,
-            &mut out,
+            &|_| 0,
         );
-        self.stats.total_hops += out.hops;
-        self.stats.dropped += out.dropped;
-        self.in_flight -= out.dropped;
-        for (node, fl) in out.moves.pop().expect("single band") {
-            self.resident[node as usize].push(fl);
-        }
+        self.stats.total_hops += hops;
+        self.stats.dropped += dropped;
+        self.in_flight -= dropped;
+        let lane = &mut self.lanes[0];
+        // Single band: the out-buffer is the staging buffer (capacity
+        // ping-pongs between the two roles instead of being reallocated).
+        std::mem::swap(&mut lane.staging, &mut lane.out[0]);
+        lane.out[0].clear();
+        let max_queue = apply_lane(lane);
         self.stats.steps += 1;
-        for q in &self.resident {
-            self.stats.max_queue = self.stats.max_queue.max(q.len());
-        }
-        self.absorb_arrivals();
+        self.stats.max_queue = self.stats.max_queue.max(max_queue);
+        self.absorb_start();
     }
 
     /// The sharded step loop: `bands` workers borrowed from the
-    /// persistent [`WorkerPool`], double buffering each step through
-    /// per-band-pair handoff queues (module docs explain why the result
-    /// is byte-identical to [`Engine::step`]). No threads are spawned
-    /// here — the pool parks its workers between runs.
+    /// persistent [`WorkerPool`], exchanging moves through the
+    /// engine-persistent handoff ring (module docs explain why the result
+    /// is byte-identical to [`Engine::step`]). No threads are spawned and
+    /// no warm buffers are reallocated here — the pool parks its workers
+    /// between runs and every queue swap reuses capacity.
     fn run_parallel(&mut self, max_steps: u64, bands: usize) -> Result<EngineStats, EngineError> {
         let pool = self
             .pool
             .clone()
             .unwrap_or_else(|| Arc::clone(WorkerPool::shared()));
         let shape = self.shape;
-        let rows = shape.rows as usize;
         let cols = shape.cols;
-        // Contiguous near-equal row bands: band b owns rows
-        // [b·rows/B, (b+1)·rows/B), hence a contiguous node range.
-        let row_start = |b: usize| b * rows / bands;
-        let node_starts: Vec<u32> = (0..=bands).map(|b| row_start(b) as u32 * cols).collect();
-        let mut row_band = vec![0usize; rows];
-        for b in 0..bands {
-            row_band[row_start(b)..row_start(b + 1)].fill(b);
-        }
 
         // Split the borrows field by field so the workers can own their
-        // band slices while the coordinator keeps the counters.
+        // lanes while the coordinator keeps the counters.
         let faults = self.faults.as_ref();
+        let arena = &self.arena;
         let stats = &mut self.stats;
         let delivered_all = &mut self.delivered;
         let in_flight = &mut self.in_flight;
-        let mut band_queues: Vec<&mut [Vec<Flight>]> = Vec::with_capacity(bands);
-        let mut rest: &mut [Vec<Flight>] = &mut self.resident;
-        for b in 0..bands {
-            let (head, tail) = rest.split_at_mut((node_starts[b + 1] - node_starts[b]) as usize);
-            band_queues.push(head);
-            rest = tail;
-        }
+        let node_starts = &self.node_starts;
+        let row_band = &self.row_band;
+        let handoff = &self.handoff;
+        let step_out = &self.step_out;
         let mut band_trace: Vec<Option<&mut [[u64; 4]]>> = match self.trace.as_mut() {
             None => (0..bands).map(|_| None).collect(),
             Some(t) => {
@@ -682,46 +1040,33 @@ impl Engine {
 
         // `barrier_all` frames a step (coordinator + workers); the
         // workers-only barrier separates the compute and apply
-        // half-steps so no handoff queue is drained before it is full.
+        // half-steps so no handoff slot is drained before it is full.
         let barrier_all = Barrier::new(bands + 1);
         let barrier_workers = Barrier::new(bands);
         let stop = AtomicBool::new(false);
-        // handoff[src][dst]: flights leaving band `src` for band `dst`
-        // this step, in source-node order. Locks are uncontended: `src`
-        // fills its slot during compute, `dst` drains after the barrier.
-        let handoff: Vec<Mutex<BandMoves>> = (0..bands)
-            .map(|_| Mutex::new((0..bands).map(|_| Vec::new()).collect()))
-            .collect();
-        let results: Vec<Mutex<BandScratch>> = (0..bands)
-            .map(|_| Mutex::new(BandScratch::default()))
-            .collect();
         let start_step = stats.steps;
-        let row_band = &row_band;
-        let node_starts = &node_starts;
         let barrier_all = &barrier_all;
         let barrier_workers = &barrier_workers;
         let stop = &stop;
-        let handoff = &handoff;
-        let results = &results;
 
         // The pool job closure is one `Fn(usize)` shared by every
         // worker, so each band's exclusive state is parked in a slot the
         // owning worker takes on entry.
-        type BandState<'a> = (&'a mut [Vec<Flight>], Option<&'a mut [[u64; 4]]>);
-        let band_state: Vec<Mutex<Option<BandState<'_>>>> = band_queues
-            .into_iter()
+        type BandState<'a> = (&'a mut Lane, Option<&'a mut [[u64; 4]]>);
+        let band_state: Vec<Mutex<Option<BandState<'_>>>> = self
+            .lanes
+            .iter_mut()
             .zip(band_trace.drain(..))
-            .map(|(queues, trace)| Mutex::new(Some((queues, trace))))
+            .map(|(lane, trace)| Mutex::new(Some((lane, trace))))
             .collect();
         let band_state = &band_state;
 
         let worker = move |b: usize| {
-            let (queues, mut trace) = band_state[b]
+            let (lane, mut trace) = band_state[b]
                 .lock()
                 .unwrap()
                 .take()
                 .expect("band state taken once per run");
-            let node0 = node_starts[b];
             let band_of = |idx: u32| row_band[(idx / cols) as usize];
             let mut step = start_step;
             loop {
@@ -734,25 +1079,34 @@ impl Engine {
                     faults,
                     step,
                 };
-                let mut out = BandScratch::with_bands(bands);
-                compute_band(&ctx, queues, node0, trace.as_deref_mut(), band_of, &mut out);
-                // Publish this band's outgoing moves.
-                std::mem::swap(&mut *handoff[b].lock().unwrap(), &mut out.moves);
+                let (hops, moved_drops) =
+                    compute_lane(&ctx, arena, lane, trace.as_deref_mut(), &band_of);
+                // Publish this band's outgoing moves: swap each per-dst
+                // buffer into its handoff ring slot (the slot holds the
+                // vector this band's buffer was drained into last step,
+                // so capacity circulates instead of being reallocated).
+                for (dst, out) in lane.out.iter_mut().enumerate() {
+                    std::mem::swap(&mut *handoff[b * bands + dst].lock().unwrap(), out);
+                }
                 barrier_workers.wait();
                 // Drain incoming moves in fixed source-band order:
                 // concatenated, they reproduce the sequential
                 // engine's ascending global node scan.
-                for src_slot in handoff.iter() {
-                    let incoming = std::mem::take(&mut src_slot.lock().unwrap()[b]);
-                    for (node, fl) in incoming {
-                        queues[(node - node0) as usize].push(fl);
-                    }
+                lane.staging.clear();
+                for src in 0..bands {
+                    let mut slot = handoff[src * bands + b].lock().unwrap();
+                    lane.staging.extend_from_slice(&slot);
+                    slot.clear();
                 }
-                for q in queues.iter() {
-                    out.max_queue = out.max_queue.max(q.len());
+                let max_queue = apply_lane(lane);
+                let dead_drops = absorb_lane(shape, faults, lane);
+                {
+                    let mut out = step_out[b].lock().unwrap();
+                    out.hops = hops;
+                    out.dropped = moved_drops + dead_drops;
+                    out.max_queue = max_queue;
+                    std::mem::swap(&mut out.delivered, &mut lane.delivered);
                 }
-                absorb_band(shape, faults, queues, node0, &mut out);
-                *results[b].lock().unwrap() = out;
                 step += 1;
                 barrier_all.wait();
             }
@@ -778,7 +1132,7 @@ impl Engine {
             barrier_all.wait(); // release the workers into the step
             barrier_all.wait(); // wait for every band to finish
             stats.steps += 1;
-            for slot in results.iter() {
+            for slot in step_out.iter() {
                 let mut out = slot.lock().unwrap();
                 stats.total_hops += out.hops;
                 stats.dropped += out.dropped;
@@ -920,6 +1274,32 @@ mod tests {
         );
         let err = e.run(3).unwrap_err();
         assert!(matches!(err, EngineError::StepBudgetExceeded { .. }));
+    }
+
+    /// A budget-exceeded run leaves packets in flight; a follow-up run —
+    /// possibly at a different thread count, which relays the packets
+    /// out — must finish the job with cumulative stats. Exercises the
+    /// resident-regather path of `layout`.
+    #[test]
+    fn interrupted_run_resumes_across_thread_counts() {
+        let shape = MeshShape::square(8);
+        let finish = |threads_after: usize| {
+            let mut e = Engine::new(shape);
+            let b = full_bounds(shape);
+            for i in 0..16u64 {
+                e.inject(shape.coord(i as u32), mk(i, Coord::new(7, 7), b));
+            }
+            assert!(e.run(2).is_err());
+            assert!(e.in_flight() > 0);
+            e.set_threads(threads_after);
+            let stats = e.run(10_000).unwrap();
+            (stats, e.take_delivered())
+        };
+        let seq = finish(1);
+        assert_eq!(seq.0.delivered, 16);
+        for threads in [2, 5] {
+            assert_eq!(seq, finish(threads), "threads = {threads}");
+        }
     }
 
     #[test]
@@ -1136,6 +1516,31 @@ mod tests {
             (stats, e.take_delivered())
         };
         assert_eq!(run(1), run(64));
+    }
+
+    /// `drain_delivered` yields the same pairs as `take_delivered` and
+    /// leaves the backing buffer reusable.
+    #[test]
+    fn drain_delivered_matches_take() {
+        let shape = MeshShape::square(8);
+        let route = |drain: bool| -> Vec<(u32, Packet)> {
+            let mut e = Engine::new(shape);
+            let b = full_bounds(shape);
+            for i in 0..32u64 {
+                let src = Coord::new((i % 8) as u32, (i / 8) as u32);
+                let dst = Coord::new((i / 8) as u32, (i % 8) as u32);
+                e.inject(src, mk(i, dst, b));
+            }
+            e.run(10_000).unwrap();
+            if drain {
+                let out: Vec<_> = e.drain_delivered().collect();
+                assert_eq!(e.drain_delivered().count(), 0, "drain must empty the list");
+                out
+            } else {
+                e.take_delivered()
+            }
+        };
+        assert_eq!(route(true), route(false));
     }
 
     #[cfg(debug_assertions)]

@@ -19,9 +19,19 @@
 //! Links are undirected: severing or degrading `(node, dir)` affects both
 //! traversal directions. Time-varying fault schedules are layered on top
 //! by `prasim-fault`, which materializes one mask per PRAM step.
+//!
+//! # Storage
+//!
+//! The mask sits on the engine's hottest paths — `node_dead` runs per
+//! queue scan and `link_severed` per candidate direction of every detour
+//! decision — so faults are stored as dense bitsets rather than hash
+//! maps: one bit per node for liveness, one bit per directed `(node,
+//! dir)` key for severed links, and a dense `u16` per-mille table for
+//! lossy links. The link tables are allocated lazily on the first
+//! sever/degrade, so the common all-links-healthy mask costs one
+//! `nodes / 8`-byte liveness bitset and nothing else.
 
 use crate::topology::{Coord, Dir, MeshShape};
-use std::collections::HashMap;
 
 /// Deterministic per-traversal loss decision hash (SplitMix64 finalizer).
 fn mix(mut z: u64) -> u64 {
@@ -30,16 +40,24 @@ fn mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Dense directed-link key: `node * 4 + direction`.
+#[inline]
+fn link_key(idx: u32, dir: Dir) -> usize {
+    idx as usize * 4 + dir.index()
+}
+
 /// Which mesh components are broken during one engine run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultMask {
     shape: MeshShape,
-    /// Per-node liveness; `true` = dead.
-    dead: Vec<bool>,
-    /// Per-(node, dir) severed flags, stored for both endpoints.
-    severed: HashMap<(u32, u8), ()>,
-    /// Per-(node, dir) loss rate in per-mille, stored for both endpoints.
-    lossy: HashMap<(u32, u8), u16>,
+    /// Per-node liveness bitset; a set bit = dead.
+    dead: Vec<u64>,
+    /// Severed bitset over directed `(node, dir)` keys, stored for both
+    /// endpoints; empty until the first sever.
+    severed: Vec<u64>,
+    /// Loss rate in per-mille per directed `(node, dir)` key, stored for
+    /// both endpoints; empty until the first degrade.
+    lossy: Vec<u16>,
     /// Salt for the deterministic loss hash.
     salt: u64,
     dead_count: u64,
@@ -51,9 +69,9 @@ impl FaultMask {
     /// A mask with no faults.
     pub fn new(shape: MeshShape) -> Self {
         FaultMask {
-            dead: vec![false; shape.nodes() as usize],
-            severed: HashMap::new(),
-            lossy: HashMap::new(),
+            dead: vec![0; (shape.nodes() as usize).div_ceil(64)],
+            severed: Vec::new(),
+            lossy: Vec::new(),
             salt: 0,
             dead_count: 0,
             severed_count: 0,
@@ -77,8 +95,9 @@ impl FaultMask {
     /// Marks a node dead.
     pub fn kill_node(&mut self, at: Coord) {
         let idx = self.shape.index(at) as usize;
-        if !self.dead[idx] {
-            self.dead[idx] = true;
+        let (word, bit) = (idx / 64, 1u64 << (idx % 64));
+        if self.dead[word] & bit == 0 {
+            self.dead[word] |= bit;
             self.dead_count += 1;
         }
     }
@@ -86,10 +105,15 @@ impl FaultMask {
     /// Severs the undirected link `(at, dir)`, if it exists.
     pub fn sever_link(&mut self, at: Coord, dir: Dir) {
         if let Some((a, b)) = self.endpoints(at, dir) {
-            if self.severed.insert(a, ()).is_none() {
+            if self.severed.is_empty() {
+                self.severed = vec![0; (self.shape.nodes() as usize * 4).div_ceil(64)];
+            }
+            let (word, bit) = (a / 64, 1u64 << (a % 64));
+            if self.severed[word] & bit == 0 {
                 self.severed_count += 1;
             }
-            self.severed.insert(b, ());
+            self.severed[word] |= bit;
+            self.severed[b / 64] |= 1u64 << (b % 64);
         }
     }
 
@@ -101,58 +125,71 @@ impl FaultMask {
             return;
         }
         if let Some((a, b)) = self.endpoints(at, dir) {
-            if self.lossy.insert(a, per_mille).is_none() {
+            if self.lossy.is_empty() {
+                self.lossy = vec![0; self.shape.nodes() as usize * 4];
+            }
+            if self.lossy[a] == 0 {
                 self.lossy_count += 1;
             }
-            self.lossy.insert(b, per_mille);
+            self.lossy[a] = per_mille;
+            self.lossy[b] = per_mille;
         }
     }
 
     /// Both directed keys of the undirected link `(at, dir)`, or `None`
     /// for a border non-link.
-    fn endpoints(&self, at: Coord, dir: Dir) -> Option<((u32, u8), (u32, u8))> {
+    fn endpoints(&self, at: Coord, dir: Dir) -> Option<(usize, usize)> {
         let next = self.shape.step(at, dir)?;
-        let back = dir.opposite();
         Some((
-            (self.shape.index(at), dir.index() as u8),
-            (self.shape.index(next), back.index() as u8),
+            link_key(self.shape.index(at), dir),
+            link_key(self.shape.index(next), dir.opposite()),
         ))
     }
 
     /// Whether the node with this index is dead.
     #[inline]
     pub fn node_dead(&self, idx: u32) -> bool {
-        self.dead[idx as usize]
+        self.dead[idx as usize / 64] >> (idx as usize % 64) & 1 != 0
     }
 
     /// Whether the link out of `idx` in direction `dir` is severed.
     #[inline]
     pub fn link_severed(&self, idx: u32, dir: Dir) -> bool {
-        !self.severed.is_empty() && self.severed.contains_key(&(idx, dir.index() as u8))
+        if self.severed.is_empty() {
+            return false;
+        }
+        let key = link_key(idx, dir);
+        self.severed[key / 64] >> (key % 64) & 1 != 0
+    }
+
+    /// The loss rate of the link out of `idx` in direction `dir`, in
+    /// per-mille (0 = lossless).
+    #[inline]
+    pub fn loss_rate(&self, idx: u32, dir: Dir) -> u16 {
+        if self.lossy.is_empty() {
+            return 0;
+        }
+        self.lossy[link_key(idx, dir)]
     }
 
     /// Whether a traversal of `(idx, dir)` by packet `pkt_id` at engine
     /// step `step` is lost. Deterministic in all arguments and the salt.
     pub fn traversal_lost(&self, step: u64, idx: u32, dir: Dir, pkt_id: u64) -> bool {
-        if self.lossy.is_empty() {
+        let per_mille = self.loss_rate(idx, dir);
+        if per_mille == 0 {
             return false;
         }
-        match self.lossy.get(&(idx, dir.index() as u8)) {
-            None => false,
-            Some(&per_mille) => {
-                let h = mix(self.salt
-                    ^ mix(step)
-                    ^ mix((idx as u64) << 2 | dir.index() as u64).rotate_left(17)
-                    ^ mix(pkt_id).rotate_left(34));
-                (h % 1000) < per_mille as u64
-            }
-        }
+        let h = mix(self.salt
+            ^ mix(step)
+            ^ mix((idx as u64) << 2 | dir.index() as u64).rotate_left(17)
+            ^ mix(pkt_id).rotate_left(34));
+        (h % 1000) < per_mille as u64
     }
 
     /// Whether the mask contains no faults at all (fast-path check).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.dead_count == 0 && self.severed.is_empty() && self.lossy.is_empty()
+        self.dead_count == 0 && self.severed_count == 0 && self.lossy_count == 0
     }
 
     /// Number of dead nodes.
@@ -193,6 +230,8 @@ mod tests {
         m.sever_link(Coord::new(0, 0), Dir::North);
         m.degrade_link(Coord::new(0, 0), Dir::West, 500);
         assert!(m.is_empty());
+        assert!(!m.link_severed(shape.index(Coord::new(0, 0)), Dir::North));
+        assert_eq!(m.loss_rate(shape.index(Coord::new(0, 0)), Dir::West), 0);
     }
 
     #[test]
@@ -214,7 +253,7 @@ mod tests {
         assert!(losses > 500 && losses < 1500, "losses = {losses}");
         // Reverse direction of the same undirected link is also lossy.
         let rev = shape.index(Coord::new(3, 2));
-        assert!(m.lossy.contains_key(&(rev, Dir::North.index() as u8)));
+        assert_eq!(m.loss_rate(rev, Dir::North), 250);
         // Unrelated link is clean.
         assert!(!m.traversal_lost(0, shape.index(Coord::new(0, 0)), Dir::East, 1));
     }

@@ -12,12 +12,18 @@
 //!   near-equal tessellations used to map HMOS pages onto the mesh.
 //! - [`engine`]: the synchronous packet engine (greedy XY routing within
 //!   a bounding region, FIFO link queues with farthest-first priority,
-//!   step counting and congestion metrics).
+//!   step counting and congestion metrics), built on flat
+//!   struct-of-arrays storage with zero steady-state allocation.
+//! - [`arena`]: the struct-of-arrays packet store the engine indexes
+//!   into ([`arena::PacketRef`] instead of cloned packets).
 //! - [`fault`]: static fault masks — dead nodes, severed and lossy links —
-//!   consulted by the engine to divert or drop packets deterministically.
+//!   consulted by the engine to divert or drop packets deterministically,
+//!   stored as dense bitsets.
 //! - [`pool`]: persistent worker threads (parked between runs, no
 //!   per-run spawn/join) and shape-keyed engine reuse, owned by an
 //!   execution context rather than rebuilt per step.
+//! - [`mod@reference`]: the frozen pre-arena engine, kept as a
+//!   differential-testing oracle and the T19 throughput baseline.
 
 //!
 //! # Example
@@ -39,13 +45,16 @@
 //! assert_eq!(stats.steps, 14); // Manhattan distance, no contention
 //! ```
 
+pub mod arena;
 pub mod engine;
 pub mod fault;
 pub mod pool;
+pub mod reference;
 pub mod region;
 pub mod topology;
 pub mod trace;
 
+pub use arena::{PacketArena, PacketRef};
 pub use engine::{Engine, EngineStats, Packet};
 pub use fault::FaultMask;
 pub use pool::{EnginePool, WorkerPool};

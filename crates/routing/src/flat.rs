@@ -65,6 +65,7 @@ pub fn route_flat_ctx(
 
     // Greedy route from post-sort positions.
     let mut engine = ctx.engine(shape);
+    engine.reserve(inst.pairs.len());
     let bounds = Rect::full(shape);
     for (pos, buf) in items.iter().enumerate() {
         let (r, c) = snake_coord(shape.cols, pos as u32);

@@ -10,6 +10,7 @@ use prasim_mesh::region::Rect;
 /// Theorem 2's algorithm.
 pub fn route_greedy(inst: &RoutingInstance, max_steps: u64) -> Result<RoutingOutcome, EngineError> {
     let mut engine = Engine::new(inst.shape);
+    engine.reserve(inst.pairs.len());
     let bounds = Rect::full(inst.shape);
     for (i, &(s, d)) in inst.pairs.iter().enumerate() {
         engine.inject(
@@ -30,14 +31,15 @@ pub fn route_greedy(inst: &RoutingInstance, max_steps: u64) -> Result<RoutingOut
 }
 
 /// Checks every delivered packet landed on its instance destination.
+/// Drains the engine in place ([`Engine::drain_delivered`]) — no
+/// intermediate `Vec` of packets is materialized.
 pub fn verify_delivery(inst: &RoutingInstance, engine: &mut Engine) -> bool {
-    let delivered = engine.take_delivered();
-    if delivered.len() != inst.pairs.len() {
-        return false;
-    }
-    delivered
-        .iter()
-        .all(|&(node, pkt)| inst.pairs[pkt.tag as usize].1 == node)
+    let mut seen = 0usize;
+    let all_on_dest = engine.drain_delivered().all(|(node, pkt)| {
+        seen += 1;
+        inst.pairs[pkt.tag as usize].1 == node
+    });
+    all_on_dest && seen == inst.pairs.len()
 }
 
 #[cfg(test)]

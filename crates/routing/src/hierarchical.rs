@@ -117,6 +117,7 @@ pub fn route_hierarchical_ctx(
 
     // ---- Step 3: spread into destination submeshes (rank i -> slot i mod m).
     let mut engine = ctx.engine(shape);
+    engine.reserve(inst.pairs.len());
     let full = Rect::full(shape);
     for (pos, (buf, rbuf)) in items.iter().zip(&ranks).enumerate() {
         let (r, c) = snake_coord(shape.cols, pos as u32);
@@ -137,17 +138,16 @@ pub fn route_hierarchical_ctx(
     }
     let stats = engine.run(max_steps)?;
     out.add_route(stats);
-    let landed = engine.take_delivered();
-    ctx.recycle(engine);
 
     // ---- Step 4: local sort + route inside each submesh, in parallel. --
-    // Gather per-part buffers (local snake indexing within each part).
+    // Gather per-part buffers (local snake indexing within each part),
+    // draining landed packets straight out of the engine arena.
     let mut part_items: Vec<Vec<Vec<(u64, u64)>>> = tess
         .parts
         .iter()
         .map(|p| vec![Vec::new(); p.area() as usize])
         .collect();
-    for (node, pkt) in landed {
+    for (node, pkt) in engine.drain_delivered() {
         let coord = shape.coord(node);
         let part = owner[node as usize] as usize;
         let rect = tess.parts[part];
@@ -158,6 +158,7 @@ pub fn route_hierarchical_ctx(
         let key = snake_index(rect.cols, dc.r - rect.r0, dc.c - rect.c0) as u64;
         part_items[part][lpos].push((key, pkt.tag));
     }
+    ctx.recycle(engine);
     // Local sorts run in parallel across submeshes: charge the maximum.
     let mut max_local_sort = SortCost::default();
     for (part, rect) in tess.parts.iter().enumerate() {

@@ -28,6 +28,7 @@ fn main() {
 
     // --- Plain greedy. ---
     let mut engine = Engine::new(shape).with_trace();
+    engine.reserve(inst.pairs.len());
     let bounds = Rect::full(shape);
     for (i, &(s, d)) in inst.pairs.iter().enumerate() {
         engine.inject(
